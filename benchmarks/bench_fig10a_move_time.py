@@ -1,0 +1,82 @@
+"""Figure 10(a): controller time per moveInternal vs number of state chunks.
+
+Regenerates the single-operation controller-performance series using the
+paper's methodology: "dummy" middleboxes whose only job is to replay
+fixed-size state chunks (202 bytes) in response to gets, ACK puts, and
+generate a steady stream of small events.  The measured quantity is the
+simulated time from issuing moveInternal until it returns, as a function of
+the number of chunks moved, with and without events flowing.  Expected shape:
+linear growth with the chunk count, and a single-digit-percent overhead when
+events are present.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, print_block
+from benchmarks.conftest import controller_with_dummies
+
+#: Per-pair chunk counts (each dummy holds this many supporting + reporting chunks,
+#: so a move transfers twice this number of chunks).
+CHUNK_COUNTS = (500, 1000, 2000)
+
+#: Event rate used for the "with events" series (events/second of simulated time).
+EVENT_RATE = 2000.0
+
+
+def run_single_move(chunk_count: int, with_events: bool) -> dict:
+    sim, controller, northbound, pairs = controller_with_dummies([chunk_count])
+    src, dst = pairs[0]
+    if with_events:
+        src.generate_events_at_rate(EVENT_RATE, duration=5.0)
+    handle = northbound.move_internal(src.name, dst.name, None)
+    record = sim.run_until(handle.completed, limit=1000)
+    return {
+        "chunks": record.chunks_transferred,
+        "duration": record.duration,
+        "events": record.events_received,
+        "bytes": record.bytes_transferred,
+    }
+
+
+def test_fig10a_move_time_vs_chunks(once):
+    def run_all():
+        results = {}
+        for chunk_count in CHUNK_COUNTS:
+            results[(chunk_count, False)] = run_single_move(chunk_count, with_events=False)
+            results[(chunk_count, True)] = run_single_move(chunk_count, with_events=True)
+        return results
+
+    results = once(run_all)
+
+    rows = []
+    for chunk_count in CHUNK_COUNTS:
+        without = results[(chunk_count, False)]
+        with_events = results[(chunk_count, True)]
+        overhead = 100.0 * (with_events["duration"] / without["duration"] - 1.0)
+        rows.append(
+            (
+                without["chunks"],
+                round(without["duration"] * 1000, 1),
+                round(with_events["duration"] * 1000, 1),
+                with_events["events"],
+                round(overhead, 1),
+            )
+        )
+    print_block(
+        format_table(
+            "Figure 10(a) — time per moveInternal vs state chunks (dummy middleboxes, 202-byte chunks)",
+            ["chunks moved", "w/o events (ms)", "with events (ms)", "events processed", "event overhead (%)"],
+            rows,
+        )
+    )
+
+    durations = [results[(count, False)]["duration"] for count in CHUNK_COUNTS]
+    # Linear growth with the number of chunks.
+    assert durations[0] < durations[1] < durations[2]
+    assert 1.5 < durations[2] / durations[1] < 2.6
+    # Events add overhead, but only a modest fraction (the paper reports at most ~9%).
+    for chunk_count in CHUNK_COUNTS:
+        without = results[(chunk_count, False)]["duration"]
+        with_events = results[(chunk_count, True)]["duration"]
+        assert with_events >= without
+        assert with_events <= without * 1.30

@@ -1,0 +1,57 @@
+"""Figure 10(b): average time per move vs number of simultaneous moves.
+
+Regenerates the controller-scalability series: several pairs of dummy
+middleboxes start moveInternal operations at the same time; the controller's
+message handling is serialised through a single CPU, so the average time per
+operation grows with both the number of simultaneous operations and the number
+of chunks per operation — the linear trends of Figure 10(b).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, print_block
+from benchmarks.conftest import controller_with_dummies
+
+CONCURRENCY_LEVELS = (1, 2, 4, 8)
+CHUNKS_PER_PAIR = (500, 1000)
+
+
+def run_concurrent_moves(concurrency: int, chunks: int) -> float:
+    sim, controller, northbound, pairs = controller_with_dummies([chunks] * concurrency)
+    handles = [northbound.move_internal(src.name, dst.name, None) for src, dst in pairs]
+    for handle in handles:
+        sim.run_until(handle.completed, limit=5000)
+    durations = [handle.record.duration for handle in handles]
+    return sum(durations) / len(durations)
+
+
+def test_fig10b_concurrent_moves(once):
+    def run_all():
+        return {
+            (concurrency, chunks): run_concurrent_moves(concurrency, chunks)
+            for chunks in CHUNKS_PER_PAIR
+            for concurrency in CONCURRENCY_LEVELS
+        }
+
+    results = once(run_all)
+
+    rows = [
+        (concurrency, chunks * 2, round(results[(concurrency, chunks)] * 1000, 1))
+        for chunks in CHUNKS_PER_PAIR
+        for concurrency in CONCURRENCY_LEVELS
+    ]
+    print_block(
+        format_table(
+            "Figure 10(b) — average time per moveInternal vs simultaneous operations",
+            ["simultaneous moves", "chunks per move", "avg time per move (ms)"],
+            rows,
+        )
+    )
+
+    for chunks in CHUNKS_PER_PAIR:
+        series = [results[(concurrency, chunks)] for concurrency in CONCURRENCY_LEVELS]
+        # Average per-move time grows with the number of simultaneous operations.
+        assert series[0] < series[1] < series[2] < series[3]
+    # And with the number of chunks per operation.
+    for concurrency in CONCURRENCY_LEVELS:
+        assert results[(concurrency, 1000)] > results[(concurrency, 500)]

@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation (section 8) — see DESIGN.md's experiment index and EXPERIMENTS.md
+for the mapping.  Each benchmark prints the regenerated rows/series with the
+``repro.analysis.report`` formatters, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a textual version of every table and figure alongside the
+pytest-benchmark timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ControllerConfig, MBController, NorthboundAPI
+from repro.middleboxes import DummyMiddlebox
+from repro.net import Simulator
+
+
+def controller_with_dummies(chunk_counts, *, quiescence: float = 0.1, per_message_cost: float = 40e-6):
+    """Build a controller plus (src, dst) dummy middlebox pairs.
+
+    ``chunk_counts`` is a list of per-pair chunk counts; returns
+    (sim, controller, northbound, [(src, dst), ...]).
+    """
+    sim = Simulator()
+    controller = MBController(
+        sim, ControllerConfig(quiescence_timeout=quiescence, per_message_cost=per_message_cost)
+    )
+    northbound = NorthboundAPI(controller)
+    pairs = []
+    for index, count in enumerate(chunk_counts):
+        src = DummyMiddlebox(sim, f"dummy-src-{index}", chunk_count=count)
+        dst = DummyMiddlebox(sim, f"dummy-dst-{index}")
+        controller.register(src)
+        controller.register(dst)
+        pairs.append((src, dst))
+    return sim, controller, northbound, pairs
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (the workloads are simulations)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Live migration of application VMs with redundancy-elimination middleboxes
+(paper sections 2 and 6.1, Figure 6(a)).
+
+Initially every application VM lives in data center A: traffic from a remote
+site passes through an RE encoder, crosses the WAN, and is reconstructed by
+the RE decoder in DC A.  Half of the VMs (the ``1.1.2.0/24`` subnet) are then
+live-migrated to data center B.  The control application:
+
+1. duplicates the original decoder's configuration onto a new decoder in DC B,
+2. clones the original decoder's packet cache (shared supporting state),
+3. adds a second cache at the encoder (cloned internally from the first),
+4. re-routes the migrated subnet to DC B, and
+5. switches the encoder to use the second cache for that subnet.
+
+Because the caches are cloned rather than started empty, every encoded byte
+remains decodable after the migration.  The script also runs the
+configuration+routing-only baseline for contrast (Table 3's comparison).
+
+Run it with::
+
+    python examples/live_migration_re.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import REMigrationApp, build_re_migration_scenario
+from repro.baselines import ConfigRoutingREMigration
+from repro.traffic import redundancy_trace
+
+
+def build_workload(seed_offset: int = 0):
+    """Warm-up and post-migration traffic for both data-center subnets."""
+    warm_a = redundancy_trace(packets=150, payload_bytes=512, redundancy=0.6, server_subnet="1.1.1", seed=1 + seed_offset)
+    warm_b = redundancy_trace(packets=150, payload_bytes=512, redundancy=0.6, server_subnet="1.1.2", seed=2 + seed_offset)
+    post_a = redundancy_trace(packets=100, payload_bytes=512, redundancy=0.6, server_subnet="1.1.1", seed=1 + seed_offset)
+    post_b = redundancy_trace(packets=100, payload_bytes=512, redundancy=0.6, server_subnet="1.1.2", seed=2 + seed_offset)
+    return warm_a.merged_with(warm_b), post_a, post_b
+
+
+def run_openmb():
+    scenario = build_re_migration_scenario(cache_capacity=128 * 1024)
+    warm, post_a, post_b = build_workload()
+    scenario.inject(warm)
+    scenario.sim.run(until=scenario.sim.now + 0.8)
+
+    app = REMigrationApp(
+        scenario.sim,
+        scenario.northbound,
+        encoder=scenario.encoder.name,
+        orig_decoder=scenario.decoder_a.name,
+        new_decoder=scenario.decoder_b.name,
+        update_routing=scenario.reroute_dc_b,
+    )
+    report = scenario.sim.run_until(app.start(), limit=100)
+    for step in report.steps:
+        print(f"    {step}")
+
+    # The migrated VMs' traffic resumes after their switchover pause.
+    scenario.inject(post_a.merged_with(post_b), start_at=scenario.sim.now + 0.05)
+    scenario.sim.run(until=scenario.sim.now + 2.5)
+    return scenario
+
+
+def run_baseline():
+    scenario = build_re_migration_scenario(cache_capacity=128 * 1024)
+    warm, post_a, post_b = build_workload()
+    scenario.inject(warm)
+    scenario.sim.run(until=scenario.sim.now + 0.8)
+
+    app = ConfigRoutingREMigration(
+        scenario,
+        routing_delay=0.04,  # the routing update lands ~10 packets after the cache switch
+        on_cache_switched=lambda: scenario.inject(post_b, start_at=scenario.sim.now),
+    )
+    scenario.sim.run_until(app.start(), limit=100)
+    scenario.inject(post_a, start_at=scenario.sim.now + 0.01)
+    scenario.sim.run(until=scenario.sim.now + 2.5)
+    return scenario
+
+
+def summarize(name, scenario):
+    encoder = scenario.encoder
+    undecodable = scenario.decoder_a.undecodable_bytes + scenario.decoder_b.undecodable_bytes
+    print(f"\n{name}:")
+    print(f"    total payload bytes seen by the encoder : {encoder.total_bytes}")
+    print(f"    redundant bytes eliminated (encoded)    : {encoder.encoded_bytes}")
+    print(f"    undecodable bytes at the decoders       : {undecodable}")
+    print(f"    packets delivered to DC A / DC B        : "
+          f"{len(scenario.dc_a_host.received)} / {len(scenario.dc_b_host.received)}")
+
+
+def main() -> None:
+    print("== OpenMB live migration (cloneSupport + coordinated routing) ==")
+    openmb_scenario = run_openmb()
+    print("\n== Configuration + routing only (no state cloning) ==")
+    baseline_scenario = run_baseline()
+
+    summarize("OpenMB (SDMBN)", openmb_scenario)
+    summarize("Config + routing baseline", baseline_scenario)
+    print("\nThe baseline's encoded bytes referencing the new (empty) cache cannot be "
+          "reconstructed once the encoder, decoder, and routing fall out of sync; "
+          "OpenMB's cloned caches keep every encoded byte decodable.")
+
+
+if __name__ == "__main__":
+    main()

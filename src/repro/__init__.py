@@ -1,0 +1,55 @@
+"""OpenMB: a framework for software-defined middlebox networking.
+
+This package is a from-scratch Python reproduction of "Design and
+Implementation of a Framework for Software-Defined Middlebox Networking"
+(Gember et al., 2013).  It contains:
+
+* :mod:`repro.core` — the paper's contribution: the middlebox state taxonomy,
+  the MB-facing (southbound) API, the MB controller, and the control
+  (northbound) API.
+* :mod:`repro.net` — the SDN substrate: a discrete-event network simulator
+  with OpenFlow-style switches and an SDN controller.
+* :mod:`repro.middleboxes` — OpenMB-enabled middleboxes built from scratch:
+  an IDS, a passive monitor, an RE encoder/decoder pair, a NAT, a load
+  balancer, and a firewall.
+* :mod:`repro.apps` — control applications (live migration, elastic scaling,
+  failure recovery) and ready-made scenario topologies.
+* :mod:`repro.baselines` — the comparison systems: VM snapshots,
+  configuration+routing-only control, and Split/Merge-style suspension.
+* :mod:`repro.traffic` — synthetic workload generators and trace replay.
+* :mod:`repro.analysis` — measurement, comparison, and report formatting.
+"""
+
+from . import analysis, apps, baselines, core, middleboxes, net, traffic
+from .core import (
+    ControllerConfig,
+    FlowKey,
+    FlowPattern,
+    MBController,
+    NorthboundAPI,
+    StateRole,
+    StateScope,
+)
+from .net import Simulator, Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "baselines",
+    "core",
+    "middleboxes",
+    "net",
+    "traffic",
+    "FlowKey",
+    "FlowPattern",
+    "MBController",
+    "ControllerConfig",
+    "NorthboundAPI",
+    "StateRole",
+    "StateScope",
+    "Simulator",
+    "Topology",
+    "__version__",
+]

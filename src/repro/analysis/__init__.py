@@ -1,0 +1,31 @@
+"""Measurement, comparison, and reporting helpers for the evaluation."""
+
+from .cdf import CDF
+from .compare import (
+    LogComparison,
+    combined_conn_log,
+    combined_http_log,
+    compare_ids_outputs,
+    compare_log_entries,
+    compare_monitor_statistics,
+)
+from .report import format_mapping, format_series, format_table, print_block
+from .timeline import ActivitySampler, ActivitySeries, OperationWindow, operation_windows
+
+__all__ = [
+    "CDF",
+    "LogComparison",
+    "combined_conn_log",
+    "combined_http_log",
+    "compare_ids_outputs",
+    "compare_log_entries",
+    "compare_monitor_statistics",
+    "format_mapping",
+    "format_series",
+    "format_table",
+    "print_block",
+    "ActivitySampler",
+    "ActivitySeries",
+    "OperationWindow",
+    "operation_windows",
+]

@@ -1,0 +1,47 @@
+"""CDF construction helpers for the evaluation figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CDF:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "CDF":
+        ordered = np.sort(np.asarray(list(samples), dtype=float))
+        if ordered.size == 0:
+            return cls(values=np.array([]), probabilities=np.array([]))
+        probabilities = np.arange(1, ordered.size + 1) / ordered.size
+        return cls(values=ordered, probabilities=probabilities)
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, value, side="right") / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The value below which a fraction *q* of samples fall."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.quantile(self.values, q))
+
+    def exceeding(self, value: float) -> float:
+        """P(X > value)."""
+        return 1.0 - self.at(value)
+
+    def series(self, points: int = 50) -> List[Tuple[float, float]]:
+        """Evenly spaced (value, probability) pairs suitable for printing a figure series."""
+        if self.values.size == 0:
+            return []
+        indexes = np.linspace(0, self.values.size - 1, num=min(points, self.values.size)).astype(int)
+        return [(float(self.values[i]), float(self.probabilities[i])) for i in indexes]

@@ -1,0 +1,81 @@
+"""Output comparison for the correctness experiments (paper section 8.2).
+
+The paper verifies correctness by comparing the *output* of an unmodified
+middlebox that processed a whole trace against the combined output of the
+OpenMB-enabled middleboxes that processed the same trace while a control
+application migrated or re-balanced flows: conn.log and http.log for the IDS,
+aggregate statistics for the monitor, and decodability of every packet for RE.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..middleboxes.ids import IDS, ConnLogEntry, HttpLogEntry
+from ..middleboxes.monitor import PassiveMonitor, combined_statistics
+
+
+@dataclass
+class LogComparison:
+    """Result of comparing two multisets of log entries."""
+
+    matching: int
+    only_in_reference: List[object] = field(default_factory=list)
+    only_in_candidate: List[object] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.only_in_reference and not self.only_in_candidate
+
+    @property
+    def differences(self) -> int:
+        return len(self.only_in_reference) + len(self.only_in_candidate)
+
+
+def compare_log_entries(reference: Iterable[object], candidate: Iterable[object]) -> LogComparison:
+    """Compare two collections of hashable log entries as multisets (order-insensitive)."""
+    ref_counter = Counter(reference)
+    cand_counter = Counter(candidate)
+    matching = sum((ref_counter & cand_counter).values())
+    only_ref = list((ref_counter - cand_counter).elements())
+    only_cand = list((cand_counter - ref_counter).elements())
+    return LogComparison(matching=matching, only_in_reference=only_ref, only_in_candidate=only_cand)
+
+
+def combined_conn_log(instances: Sequence[IDS]) -> List[ConnLogEntry]:
+    """The union (concatenation) of conn.log entries across IDS instances."""
+    entries: List[ConnLogEntry] = []
+    for instance in instances:
+        entries.extend(instance.conn_log)
+    return entries
+
+
+def combined_http_log(instances: Sequence[IDS]) -> List[HttpLogEntry]:
+    """The union (concatenation) of http.log entries across IDS instances."""
+    entries: List[HttpLogEntry] = []
+    for instance in instances:
+        entries.extend(instance.http_log)
+    return entries
+
+
+def compare_ids_outputs(reference: IDS, candidates: Sequence[IDS]) -> Dict[str, LogComparison]:
+    """Compare an unmodified IDS's logs against the combined logs of OpenMB-enabled instances."""
+    return {
+        "conn_log": compare_log_entries(reference.conn_log, combined_conn_log(candidates)),
+        "http_log": compare_log_entries(reference.http_log, combined_http_log(candidates)),
+    }
+
+
+def compare_monitor_statistics(reference: PassiveMonitor, candidates: Sequence[PassiveMonitor]) -> Dict[str, Tuple]:
+    """Compare aggregate monitor statistics; returns {field: (reference, combined)} for mismatches."""
+    ref_stats = reference.statistics()
+    combined = combined_statistics(candidates)
+    mismatches: Dict[str, Tuple] = {}
+    for field_name in ("total_packets", "total_bytes", "tcp_packets", "udp_packets", "icmp_packets", "flows_seen"):
+        if ref_stats[field_name] != combined[field_name]:
+            mismatches[field_name] = (ref_stats[field_name], combined[field_name])
+    if ref_stats["assets"] != combined["assets"]:
+        mismatches["assets"] = (ref_stats["assets"], combined["assets"])
+    return mismatches

@@ -1,0 +1,53 @@
+"""Plain-text table and series renderers used by the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures; these helpers
+print the rows/series in a uniform format so ``bench_output.txt`` reads as a
+set of labelled reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, points: Iterable[Tuple[object, object]], *, x_label: str = "x", y_label: str = "y") -> str:
+    """Render a figure series as two columns."""
+    return format_table(title, [x_label, y_label], [(x, y) for x, y in points])
+
+
+def format_mapping(title: str, mapping: Dict[str, object]) -> str:
+    """Render a flat mapping as a two-column table."""
+    return format_table(title, ["metric", "value"], sorted(mapping.items()))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def print_block(text: str) -> None:
+    """Print a report block surrounded by blank lines (keeps bench output readable)."""
+    print()
+    print(text)
+    print()

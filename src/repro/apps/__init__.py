@@ -1,0 +1,27 @@
+"""Control applications and ready-made scenario topologies."""
+
+from .base import AppReport, ControlApplication
+from .failover import FailureRecoveryApp
+from .migration import PerFlowMigrationApp, REMigrationApp
+from .scaling import RebalanceApp, ScaleDownApp, ScaleUpApp
+from .scenarios import (
+    REMigrationScenario,
+    TwoInstanceScenario,
+    build_re_migration_scenario,
+    build_two_instance_scenario,
+)
+
+__all__ = [
+    "AppReport",
+    "ControlApplication",
+    "FailureRecoveryApp",
+    "PerFlowMigrationApp",
+    "REMigrationApp",
+    "RebalanceApp",
+    "ScaleDownApp",
+    "ScaleUpApp",
+    "REMigrationScenario",
+    "TwoInstanceScenario",
+    "build_re_migration_scenario",
+    "build_two_instance_scenario",
+]

@@ -1,0 +1,76 @@
+"""Control application base class.
+
+Control applications are the top layer of the OpenMB architecture (Figure 1):
+they orchestrate middlebox state operations (via the northbound API) *in
+tandem with* network routing changes (via the SDN controller).  Applications
+are written as generator-based simulator processes: each ``yield`` waits for a
+future returned by one of the two controllers, so the body reads as the same
+numbered sequence of steps the paper gives for each scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..core.northbound import NorthboundAPI
+from ..net.sdn import SDNController
+from ..net.simulator import Future, Simulator
+
+
+@dataclass
+class AppReport:
+    """What a control application reports when it finishes."""
+
+    name: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    steps: List[str] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    def log_step(self, description: str) -> None:
+        self.steps.append(description)
+
+
+class ControlApplication:
+    """Base class for scenario-specific control applications."""
+
+    name = "control-app"
+
+    def __init__(self, sim: Simulator, northbound: NorthboundAPI, sdn: Optional[SDNController] = None) -> None:
+        self.sim = sim
+        self.nb = northbound
+        self.sdn = sdn
+        self.report = AppReport(name=self.name)
+
+    # -- lifecycle ---------------------------------------------------------------------------------
+
+    def steps(self) -> Generator:
+        """The application body; subclasses implement this as a generator."""
+        raise NotImplementedError
+
+    def start(self) -> Future:
+        """Spawn the application as a simulator process; returns its completion future."""
+        self.report.started_at = self.sim.now
+
+        def wrapper() -> Generator:
+            result = yield from self.steps()
+            self.report.finished_at = self.sim.now
+            return result if result is not None else self.report
+
+        return self.sim.process(wrapper(), name=self.name)
+
+    def run(self, *, limit: float = 1e9) -> AppReport:
+        """Convenience: start the application and run the simulator until it finishes."""
+        future = self.start()
+        result = self.sim.run_until(future, limit=limit)
+        return result if isinstance(result, AppReport) else self.report
+
+    # -- helpers -----------------------------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        self.report.log_step(f"[t={self.sim.now:.4f}s] {message}")

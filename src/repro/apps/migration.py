@@ -1,0 +1,149 @@
+"""Live migration control applications (paper sections 2 and 6.1).
+
+Two applications live here:
+
+* :class:`REMigrationApp` — the paper's section 6.1 application: when half of
+  an application's VMs migrate from data center A to data center B, launch a
+  new RE decoder in DC B, clone the original decoder's cache, add a second
+  cache at the encoder, re-route the migrated subnet, and finally tell the
+  encoder to use the second cache for traffic to DC B.
+* :class:`PerFlowMigrationApp` — the generic per-flow middlebox migration used
+  with the IDS in the VM-snapshot comparison (section 8.1.2): clone the
+  configuration, move the per-flow state for the migrated flows, and re-route
+  them, in that order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Sequence
+
+from ..core.flowspace import FlowPattern
+from ..core.northbound import NorthboundAPI
+from ..net.sdn import SDNController
+from ..net.simulator import Future, Simulator
+from .base import AppReport, ControlApplication
+
+RoutingCallback = Callable[[], Future]
+
+
+class REMigrationApp(ControlApplication):
+    """Migrate the RE decoder function for a subnet of application VMs to a new data center."""
+
+    name = "re-migration"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        northbound: NorthboundAPI,
+        *,
+        encoder: str,
+        orig_decoder: str,
+        new_decoder: str,
+        dc_a_prefix: str = "1.1.1.0/24",
+        dc_b_prefix: str = "1.1.2.0/24",
+        update_routing: RoutingCallback,
+        sdn: Optional[SDNController] = None,
+        wait_for_clone_quiescence: bool = False,
+    ) -> None:
+        super().__init__(sim, northbound, sdn)
+        self.encoder = encoder
+        self.orig_decoder = orig_decoder
+        self.new_decoder = new_decoder
+        self.dc_a_prefix = dc_a_prefix
+        self.dc_b_prefix = dc_b_prefix
+        self.update_routing = update_routing
+        self.wait_for_clone_quiescence = wait_for_clone_quiescence
+
+    def steps(self) -> Generator:
+        # 1. Launch a new RE decoder in DC B (done by the operator / scenario) and
+        #    duplicate the configuration of the original decoder.
+        self._log(f"cloning configuration {self.orig_decoder} -> {self.new_decoder}")
+        values = yield self.nb.read_config(self.orig_decoder, "*")
+        yield self.nb.write_config(self.new_decoder, "*", values)
+
+        # 2. Clone the original decoder's cache (shared supporting state).
+        self._log(f"cloning decoder cache {self.orig_decoder} -> {self.new_decoder}")
+        clone = self.nb.clone_support(self.orig_decoder, self.new_decoder)
+        clone_record = yield clone.completed
+        self._log(
+            f"clone transferred {clone_record.bytes_transferred} bytes "
+            f"in {clone_record.duration:.4f}s"
+        )
+
+        # 3. Add a second cache to the encoder; internally the encoder clones its
+        #    original cache to create the new one.
+        self._log(f"adding a second cache at {self.encoder}")
+        yield self.nb.write_config(self.encoder, "NumCaches", [2])
+
+        # 4. Update the network routing so traffic for DC B's subnet reaches the new decoder.
+        self._log(f"re-routing {self.dc_b_prefix} to the new decoder")
+        yield self.update_routing()
+
+        # 5. Tell the encoder to start using the second cache for traffic going to the
+        #    VMs in DC B and the first cache for traffic going to the VMs in DC A.
+        if self.wait_for_clone_quiescence:
+            yield clone.finalized
+            self._log("clone events quiesced")
+        self._log("switching the encoder's cache selection")
+        yield self.nb.write_config(self.encoder, "CacheFlows", [self.dc_a_prefix, self.dc_b_prefix])
+
+        # 6. The clone transaction is over: routing and the encoder's cache selection
+        #    are in place, so the original decoder must stop replaying its own (DC A)
+        #    traffic to the new decoder — from here the two caches evolve independently,
+        #    in lock-step with their respective encoder caches.
+        yield self.nb.end_transfer(self.orig_decoder)
+        self._log("ended the clone transfer at the original decoder")
+
+        self.report.details["clone"] = clone_record
+        self.report.details["clone_bytes"] = clone_record.bytes_transferred
+        self.report.details["events_forwarded"] = clone_record.events_forwarded
+        return self.report
+
+
+class PerFlowMigrationApp(ControlApplication):
+    """Migrate the per-flow state of a middlebox (e.g. an IDS) for a subset of flows."""
+
+    name = "perflow-migration"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        northbound: NorthboundAPI,
+        *,
+        old_mb: str,
+        new_mb: str,
+        pattern: FlowPattern | list | dict | str,
+        update_routing: Callable[[FlowPattern], Future],
+        clone_configuration: bool = True,
+        sdn: Optional[SDNController] = None,
+        wait_for_finalize: bool = False,
+    ) -> None:
+        super().__init__(sim, northbound, sdn)
+        self.old_mb = old_mb
+        self.new_mb = new_mb
+        self.pattern = pattern if isinstance(pattern, FlowPattern) else FlowPattern.parse(pattern)
+        self.update_routing = update_routing
+        self.clone_configuration = clone_configuration
+        self.wait_for_finalize = wait_for_finalize
+
+    def steps(self) -> Generator:
+        if self.clone_configuration:
+            self._log(f"cloning configuration {self.old_mb} -> {self.new_mb}")
+            values = yield self.nb.read_config(self.old_mb, "*")
+            yield self.nb.write_config(self.new_mb, "*", values)
+        self._log(f"moving per-flow state for {self.pattern!r}")
+        handle = self.nb.move_internal(self.old_mb, self.new_mb, self.pattern)
+        record = yield handle.completed
+        self._log(
+            f"move returned after {record.duration:.4f}s with {record.chunks_transferred} chunks"
+        )
+        yield self.update_routing(self.pattern)
+        self._log("routing updated; migrated flows now reach the new middlebox")
+        if self.wait_for_finalize:
+            yield handle.finalized
+            self._log("source state deleted after quiescence")
+        self.report.details["move"] = record
+        self.report.details["chunks_moved"] = record.chunks_transferred
+        self.report.details["bytes_moved"] = record.bytes_transferred
+        self.report.details["events_forwarded"] = record.events_forwarded
+        return self.report

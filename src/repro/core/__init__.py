@@ -1,0 +1,74 @@
+"""OpenMB core: state taxonomy, southbound and northbound APIs, and the MB controller."""
+
+from .channel import ControlChannel
+from .config import HierarchicalConfig
+from .controller import ControllerConfig, MBController
+from .errors import (
+    ConfigError,
+    GranularityError,
+    MiddleboxError,
+    NetworkError,
+    OpenMBError,
+    OperationError,
+    ProtocolError,
+    SealError,
+    SimulationError,
+    StateError,
+    UnknownMiddleboxError,
+)
+from .events import Event, EventCode, EventFilter
+from .flowspace import FlowKey, FlowPattern, IPv4Prefix
+from .northbound import NorthboundAPI
+from .operations import OperationHandle, OperationRecord, OperationType
+from .southbound import MiddleboxInterface, ProcessingCosts, SouthboundAgent
+from .state import (
+    AccessMode,
+    PerFlowStateStore,
+    SharedChunk,
+    SharedStateSlot,
+    StateChunk,
+    StateRole,
+    StateScope,
+    state_class,
+)
+from .stats import ControllerStats
+
+__all__ = [
+    "ControlChannel",
+    "HierarchicalConfig",
+    "ControllerConfig",
+    "MBController",
+    "NorthboundAPI",
+    "Event",
+    "EventCode",
+    "EventFilter",
+    "FlowKey",
+    "FlowPattern",
+    "IPv4Prefix",
+    "OperationHandle",
+    "OperationRecord",
+    "OperationType",
+    "MiddleboxInterface",
+    "ProcessingCosts",
+    "SouthboundAgent",
+    "AccessMode",
+    "PerFlowStateStore",
+    "SharedChunk",
+    "SharedStateSlot",
+    "StateChunk",
+    "StateRole",
+    "StateScope",
+    "state_class",
+    "ControllerStats",
+    "OpenMBError",
+    "StateError",
+    "GranularityError",
+    "ConfigError",
+    "SealError",
+    "ProtocolError",
+    "OperationError",
+    "MiddleboxError",
+    "UnknownMiddleboxError",
+    "NetworkError",
+    "SimulationError",
+]

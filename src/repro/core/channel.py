@@ -1,0 +1,113 @@
+"""Control channels between the MB controller and middleboxes.
+
+The paper's prototype uses JSON over UNIX sockets.  Here each middlebox is
+connected to the controller by a :class:`ControlChannel` that encodes every
+message to its JSON wire form (so sizes are realistic), models transfer time
+as ``latency + size / bandwidth``, and delivers the decoded message to the
+other side on the simulated clock.  Both directions keep counters used by the
+controller-performance benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net.simulator import Simulator
+from .messages import Message
+
+#: Default one-way control-channel latency (seconds): a LAN round trip share.
+DEFAULT_CONTROL_LATENCY = 200e-6
+
+#: Default control-channel bandwidth (bytes/second): 1 Gbps.
+DEFAULT_CONTROL_BANDWIDTH = 125_000_000.0
+
+
+@dataclass
+class ChannelStats:
+    """Counters for one direction of a control channel."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+class ControlChannel:
+    """A bidirectional message channel between the controller and one middlebox."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        latency: float = DEFAULT_CONTROL_LATENCY,
+        bandwidth: float = DEFAULT_CONTROL_BANDWIDTH,
+        reencode: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.reencode = reencode
+        self.to_mb = ChannelStats()
+        self.to_controller = ChannelStats()
+        self._controller_handler: Optional[Callable[[Message], None]] = None
+        self._mb_handler: Optional[Callable[[Message], None]] = None
+        # Serialisation points: each direction delivers messages in order.
+        self._mb_free_at = 0.0
+        self._controller_free_at = 0.0
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def bind_controller(self, handler: Callable[[Message], None]) -> None:
+        """Register the controller-side message handler."""
+        self._controller_handler = handler
+
+    def bind_middlebox(self, handler: Callable[[Message], None]) -> None:
+        """Register the middlebox-side message handler."""
+        self._mb_handler = handler
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send_to_middlebox(self, message: Message) -> float:
+        """Send a message from the controller to the middlebox; returns delivery time."""
+        if self._mb_handler is None:
+            raise RuntimeError(f"channel {self.name} has no middlebox handler bound")
+        return self._send(message, self.to_mb, self._mb_handler, "_mb_free_at")
+
+    def send_to_controller(self, message: Message) -> float:
+        """Send a message from the middlebox to the controller; returns delivery time."""
+        if self._controller_handler is None:
+            raise RuntimeError(f"channel {self.name} has no controller handler bound")
+        return self._send(message, self.to_controller, self._controller_handler, "_controller_free_at")
+
+    def _send(
+        self,
+        message: Message,
+        stats: ChannelStats,
+        handler: Callable[[Message], None],
+        free_attr: str,
+    ) -> float:
+        encoded = message.encode()
+        stats.record(len(encoded))
+        transfer = len(encoded) / self.bandwidth if self.bandwidth else 0.0
+        start = max(self.sim.now, getattr(self, free_attr))
+        finish = start + transfer
+        setattr(self, free_attr, finish)
+        delivery_time = finish + self.latency
+        delivered = Message.decode(encoded) if self.reencode else message
+        self.sim.schedule_at(delivery_time, handler, delivered)
+        return delivery_time
+
+    # -- accounting ------------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return self.to_mb.messages + self.to_controller.messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.to_mb.bytes + self.to_controller.bytes

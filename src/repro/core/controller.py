@@ -1,0 +1,344 @@
+"""The MB controller.
+
+The controller is the broker between control applications (which speak the
+northbound API) and middleboxes (which speak the southbound message protocol):
+
+* it owns one control channel per registered middlebox;
+* it translates each northbound call into the corresponding sequence of
+  southbound requests (the state machines in :mod:`repro.core.operations`);
+* it buffers re-process events until the destination has ACKed the put for the
+  affected state, then forwards them (paper Figure 5);
+* it serialises its own message handling through a single simulated CPU with a
+  per-message processing cost, which is what makes concurrent operations
+  contend with each other exactly as the paper's profiling shows
+  (section 8.3: thread contention and socket reads dominate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.simulator import Future, Simulator
+from . import messages
+from .channel import DEFAULT_CONTROL_BANDWIDTH, DEFAULT_CONTROL_LATENCY, ControlChannel
+from .errors import OperationError, UnknownMiddleboxError
+from .events import Event, EventCode
+from .flowspace import FlowPattern
+from .messages import Message, MessageType
+from .operations import (
+    CloneOperation,
+    MergeOperation,
+    MoveOperation,
+    OperationHandle,
+    OperationRecord,
+    OperationType,
+    _StatefulOperation,
+)
+from .southbound import MiddleboxInterface, SouthboundAgent
+from .stats import ControllerStats
+
+
+@dataclass
+class ControllerConfig:
+    """Tunable controller behaviour."""
+
+    #: Idle time with no events after which a move's source state is deleted
+    #: (the paper uses "a fixed amount of time (e.g., 5 seconds)").
+    quiescence_timeout: float = 5.0
+    #: Buffer re-process events until the destination has ACKed the put for the
+    #: affected state (paper Figure 5).  Disabling this is an ablation: replayed
+    #: updates can then be overwritten by the chunk that arrives later.
+    buffer_events: bool = True
+    #: CPU time the controller spends handling one received message.
+    per_message_cost: float = 40e-6
+    #: CPU time spent forwarding one event (buffer lookup plus send).
+    per_event_cost: float = 25e-6
+    #: Control-channel latency and bandwidth used for newly registered middleboxes.
+    channel_latency: float = DEFAULT_CONTROL_LATENCY
+    channel_bandwidth: float = DEFAULT_CONTROL_BANDWIDTH
+
+
+@dataclass
+class _Registration:
+    """Book-keeping for one registered middlebox."""
+
+    middlebox: MiddleboxInterface
+    channel: ControlChannel
+    agent: SouthboundAgent
+
+
+class MBController:
+    """Brokers all middlebox state operations (paper sections 3 and 5)."""
+
+    def __init__(self, sim: Simulator, config: Optional[ControllerConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ControllerConfig()
+        self.stats = ControllerStats()
+        self._registrations: Dict[str, _Registration] = {}
+        #: Reply routing: (mb name, request xid) -> callback for each reply message.
+        self._reply_handlers: Dict[Tuple[str, int], Callable[[Message], None]] = {}
+        #: Operations currently in flight, keyed by source MB name.
+        self._active_by_src: Dict[str, List[_StatefulOperation]] = {}
+        #: Application subscribers for introspection events.
+        self._event_subscribers: List[Callable[[Event], None]] = []
+        #: (event id, destination) pairs already replayed, so an event routed to
+        #: several concurrent operations (e.g. a move and a merge sharing the same
+        #: source) is replayed at the destination exactly once.
+        self._forwarded_events: set = set()
+        #: Simulated controller CPU: the time at which it next becomes free.
+        self._cpu_free_at = 0.0
+
+    # -- registration -----------------------------------------------------------------------
+
+    def register(self, middlebox: MiddleboxInterface, *, channel: Optional[ControlChannel] = None) -> ControlChannel:
+        """Connect a middlebox to the controller.
+
+        Creates (or adopts) a control channel, binds the controller side, and
+        instantiates the middlebox's southbound agent on the other side.
+        """
+        if middlebox.name in self._registrations:
+            raise OperationError(f"middlebox {middlebox.name!r} is already registered")
+        if channel is None:
+            channel = ControlChannel(
+                self.sim,
+                name=f"chan-{middlebox.name}",
+                latency=self.config.channel_latency,
+                bandwidth=self.config.channel_bandwidth,
+            )
+        channel.bind_controller(lambda message, mb=middlebox.name: self._receive(mb, message))
+        agent = SouthboundAgent(self.sim, middlebox, channel)
+        self._registrations[middlebox.name] = _Registration(middlebox, channel, agent)
+        return channel
+
+    def unregister(self, name: str) -> None:
+        """Remove a middlebox (e.g. after scale-down terminates the instance)."""
+        self._registrations.pop(name, None)
+        self._active_by_src.pop(name, None)
+
+    def middlebox_names(self) -> List[str]:
+        return sorted(self._registrations)
+
+    def channel_for(self, name: str) -> ControlChannel:
+        return self._registration(name).channel
+
+    def _registration(self, name: str) -> _Registration:
+        try:
+            return self._registrations[name]
+        except KeyError:
+            raise UnknownMiddleboxError(f"middlebox {name!r} is not registered with the controller") from None
+
+    # -- controller CPU model -------------------------------------------------------------------
+
+    def _on_cpu(self, cost: float, work: Callable[[], None]) -> None:
+        """Run *work* after *cost* seconds of (serialised) controller CPU time."""
+        start = max(self.sim.now, self._cpu_free_at)
+        finish = start + cost
+        self._cpu_free_at = finish
+        self.sim.schedule_at(finish, work)
+
+    # -- message plumbing --------------------------------------------------------------------------
+
+    def send(self, mb_name: str, message: Message, on_reply: Optional[Callable[[Message], None]] = None) -> int:
+        """Send a southbound request to a middlebox; optionally route its replies.
+
+        Returns the request xid.  The reply handler is invoked for *every*
+        message the middlebox sends with ``reply_to`` equal to that xid
+        (chunk streams produce many).
+        """
+        registration = self._registration(mb_name)
+        if on_reply is not None:
+            self._reply_handlers[(mb_name, message.xid)] = on_reply
+        self.stats.messages_sent += 1
+        registration.channel.send_to_middlebox(message)
+        return message.xid
+
+    def _receive(self, mb_name: str, message: Message) -> None:
+        """Entry point for every message arriving from a middlebox."""
+        self.stats.messages_received += 1
+        cost = self.config.per_event_cost if message.type == MessageType.EVENT else self.config.per_message_cost
+        self._on_cpu(cost, lambda: self._dispatch(mb_name, message))
+
+    def _dispatch(self, mb_name: str, message: Message) -> None:
+        if message.type == MessageType.EVENT:
+            self._handle_event(mb_name, message)
+            return
+        if message.reply_to is not None:
+            handler = self._reply_handlers.get((mb_name, message.reply_to))
+            if handler is not None:
+                handler(message)
+                return
+        # Unsolicited non-event messages are ignored but counted as received.
+
+    def _handle_event(self, mb_name: str, message: Message) -> None:
+        event = messages.decode_event(message)
+        self.stats.events_received += 1
+        if event.is_reprocess:
+            for operation in list(self._active_by_src.get(mb_name, [])):
+                operation.on_event(event)
+        else:
+            self.stats.introspection_events += 1
+            for subscriber in self._event_subscribers:
+                subscriber(event)
+
+    def subscribe_events(self, callback: Callable[[Event], None]) -> None:
+        """Register an application callback for introspection events."""
+        self._event_subscribers.append(callback)
+
+    def forward_event(self, dst_mb: str, event: Event) -> bool:
+        """Replay *event*'s packet at *dst_mb*, at most once per (event, destination).
+
+        Returns True when the re-process message was actually sent.
+        """
+        token = (event.event_id, dst_mb)
+        if token in self._forwarded_events:
+            return False
+        self._forwarded_events.add(token)
+        self.send(dst_mb, messages.reprocess_message(dst_mb, event))
+        return True
+
+    # -- simple northbound operations --------------------------------------------------------------------
+
+    def read_config(self, mb_name: str, key: str = "*") -> Future:
+        """readConfig: fetch a middlebox's configuration subtree."""
+        future = self.sim.event(name=f"readConfig({mb_name},{key})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.CONFIG_VALUE:
+                future.succeed(message.body.get("values", {}))
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "readConfig failed")))
+
+        self.send(mb_name, messages.get_config(mb_name, key), on_reply=on_reply)
+        return future
+
+    def write_config(self, mb_name: str, key: str, values: list) -> Future:
+        """writeConfig: set configuration values on a middlebox."""
+        future = self.sim.event(name=f"writeConfig({mb_name},{key})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.ACK:
+                future.succeed(True)
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "writeConfig failed")))
+
+        self.send(mb_name, messages.set_config(mb_name, key, values), on_reply=on_reply)
+        return future
+
+    def write_config_tree(self, mb_name: str, values: Dict[str, list]) -> Future:
+        """writeConfig with a whole exported configuration tree (key ``"*"`` usage)."""
+        futures = [self.write_config(mb_name, key, list(entry)) for key, entry in values.items()]
+        from ..net.simulator import all_of
+
+        return all_of(self.sim, futures)
+
+    def query_stats(self, mb_name: str, pattern: Optional[FlowPattern] = None) -> Future:
+        """stats: how much state matching *pattern* exists at a middlebox."""
+        future = self.sim.event(name=f"stats({mb_name})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.STATS_REPLY:
+                future.succeed(message.body.get("stats", {}))
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "stats failed")))
+
+        self.send(mb_name, messages.get_stats(mb_name, pattern or FlowPattern.wildcard()), on_reply=on_reply)
+        return future
+
+    def enable_events(
+        self,
+        mb_name: str,
+        code: str,
+        pattern: Optional[FlowPattern] = None,
+        until: Optional[float] = None,
+    ) -> Future:
+        """Enable introspection events with *code* at a middlebox."""
+        future = self.sim.event(name=f"enableEvents({mb_name},{code})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.ACK:
+                future.succeed(True)
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "enable_events failed")))
+
+        self.send(mb_name, messages.enable_events(mb_name, code, pattern, until), on_reply=on_reply)
+        return future
+
+    def end_transfer(self, mb_name: str) -> Future:
+        """Tell a middlebox that an in-progress clone/merge transfer is over.
+
+        Clears the middlebox's transfer markers so it stops raising re-process
+        events.  Control applications call this once the routing change (and
+        any related configuration switch) has taken effect; the controller also
+        sends it automatically after the quiescence timeout as a fallback.
+        """
+        future = self.sim.event(name=f"endTransfer({mb_name})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.ACK:
+                future.succeed(True)
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "end_transfer failed")))
+
+        self.send(mb_name, messages.transfer_end(mb_name), on_reply=on_reply)
+        return future
+
+    def disable_events(self, mb_name: str, code: str, pattern: Optional[FlowPattern] = None) -> Future:
+        """Disable introspection events with *code* at a middlebox."""
+        future = self.sim.event(name=f"disableEvents({mb_name},{code})")
+
+        def on_reply(message: Message) -> None:
+            if message.type == MessageType.ACK:
+                future.succeed(True)
+            elif message.type == MessageType.ERROR:
+                future.fail(OperationError(message.body.get("reason", "disable_events failed")))
+
+        self.send(mb_name, messages.disable_events(mb_name, code, pattern), on_reply=on_reply)
+        return future
+
+    # -- stateful northbound operations --------------------------------------------------------------------
+
+    def move_internal(self, src: str, dst: str, pattern: FlowPattern) -> OperationHandle:
+        """moveInternal: move per-flow supporting and reporting state from src to dst."""
+        self._registration(src)
+        self._registration(dst)
+        operation = MoveOperation(self, src, dst, pattern)
+        return self._start(operation)
+
+    def clone_support(self, src: str, dst: str) -> OperationHandle:
+        """cloneSupport: clone shared supporting state from src to dst."""
+        self._registration(src)
+        self._registration(dst)
+        operation = CloneOperation(self, src, dst)
+        return self._start(operation)
+
+    def merge_internal(self, src: str, dst: str) -> OperationHandle:
+        """mergeInternal: merge shared supporting and reporting state of src into dst."""
+        self._registration(src)
+        self._registration(dst)
+        operation = MergeOperation(self, src, dst)
+        return self._start(operation)
+
+    def _start(self, operation: _StatefulOperation) -> OperationHandle:
+        self.stats.operations_started += 1
+        self._active_by_src.setdefault(operation.src, []).append(operation)
+        operation.handle.completed.add_done_callback(lambda future: self._on_completed(operation, future))
+        operation.start()
+        return operation.handle
+
+    def _on_completed(self, operation: _StatefulOperation, future: Future) -> None:
+        if future.exception is not None:
+            self.stats.operations_failed += 1
+
+    def _operation_finished(self, operation: _StatefulOperation) -> None:
+        """Called by an operation when it has fully finalised (or failed)."""
+        active = self._active_by_src.get(operation.src, [])
+        if operation in active:
+            active.remove(operation)
+        self.stats.archive(operation.record)
+
+    # -- convenience ---------------------------------------------------------------------------------------
+
+    def active_operations(self) -> List[OperationRecord]:
+        """Records of operations that have started but not yet finalised."""
+        return [op.record for ops in self._active_by_src.values() for op in ops]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the OpenMB framework.
+
+All framework-specific failures derive from :class:`OpenMBError` so callers can
+catch framework errors without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class OpenMBError(Exception):
+    """Base class for every error raised by the OpenMB framework."""
+
+
+class StateError(OpenMBError):
+    """A state operation failed (missing key, malformed chunk, bad scope)."""
+
+
+class GranularityError(StateError):
+    """A per-flow state request used a granularity finer than the MB maintains.
+
+    The paper (section 4.1.2) requires such requests to return an error rather
+    than silently returning partial matches.
+    """
+
+
+class ConfigError(OpenMBError):
+    """A configuration-state operation referenced an unknown hierarchical key
+    or supplied values the middlebox rejects."""
+
+
+class SealError(OpenMBError):
+    """A sealed (encrypted) state chunk failed authentication or decoding."""
+
+
+class ProtocolError(OpenMBError):
+    """A southbound message could not be encoded, decoded, or dispatched."""
+
+
+class OperationError(OpenMBError):
+    """A northbound operation (move/clone/merge) failed or was aborted."""
+
+
+class MiddleboxError(OpenMBError):
+    """A middlebox rejected an operation or encountered an internal failure."""
+
+
+class UnknownMiddleboxError(OperationError):
+    """A northbound call referenced a middlebox not registered with the controller."""
+
+
+class NetworkError(OpenMBError):
+    """The SDN substrate could not satisfy a routing request."""
+
+
+class SimulationError(OpenMBError):
+    """The discrete-event simulator was used incorrectly."""

@@ -1,0 +1,129 @@
+"""State events: packet re-processing and introspection.
+
+Section 4.2 of the paper augments the southbound API with events raised by
+middleboxes when they establish or manipulate state:
+
+* **Re-process events** (section 4.2.1) — raised while a move or clone is in
+  progress (and until the corresponding routing change takes effect) whenever
+  a packet updates state that was exported.  The event carries the packet; the
+  destination middlebox re-processes it *without external side effects*, which
+  is how OpenMB achieves atomicity without suspending traffic.
+* **Introspection events** (section 4.2.2) — MB-specific notifications (a NAT
+  created a mapping, a load balancer assigned a flow to a server).  They carry
+  an event code, the key of the affected state, and MB-specific values, and
+  can be enabled or disabled per code and per flow pattern so the controller
+  and network are not overloaded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .flowspace import FlowKey, FlowPattern
+from ..net.packet import Packet
+
+_event_ids = itertools.count(1)
+
+
+class EventCode:
+    """Well-known event codes.  Middleboxes define additional codes."""
+
+    #: A packet updated state that is being (or was) moved or cloned.
+    REPROCESS = "openmb.reprocess"
+    #: Generic "state created" introspection code prefix.
+    STATE_CREATED = "openmb.state_created"
+    #: Generic "state updated" introspection code prefix.
+    STATE_UPDATED = "openmb.state_updated"
+    #: Generic "state removed" introspection code prefix.
+    STATE_REMOVED = "openmb.state_removed"
+
+
+@dataclass
+class Event:
+    """One event raised by a middlebox."""
+
+    mb_name: str
+    code: str
+    key: Optional[FlowKey] = None
+    packet: Optional[Packet] = None
+    values: Dict[str, object] = field(default_factory=dict)
+    raised_at: float = 0.0
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+    #: True for shared-state re-process events (no per-flow key applies).
+    shared: bool = False
+
+    @property
+    def is_reprocess(self) -> bool:
+        return self.code == EventCode.REPROCESS
+
+    def to_wire(self) -> dict:
+        """JSON-encodable form used by the southbound message protocol."""
+        wire: dict = {
+            "mb": self.mb_name,
+            "code": self.code,
+            "event_id": self.event_id,
+            "raised_at": self.raised_at,
+            "shared": self.shared,
+            "values": dict(self.values),
+        }
+        if self.key is not None:
+            wire["key"] = self.key.as_dict()
+        if self.packet is not None:
+            wire["packet"] = {
+                "nw_src": self.packet.nw_src,
+                "nw_dst": self.packet.nw_dst,
+                "nw_proto": self.packet.nw_proto,
+                "tp_src": self.packet.tp_src,
+                "tp_dst": self.packet.tp_dst,
+                "payload_len": self.packet.payload_size,
+            }
+        return wire
+
+
+class EventFilter:
+    """Controls which introspection events a middlebox generates.
+
+    Re-process events are never filtered (they are required for correctness);
+    introspection events are generated only when a subscription matching their
+    code and key is active.  Subscriptions may carry an expiry time, matching
+    the paper's "receive all events only for a limited period of time".
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Tuple[str, FlowPattern, Optional[float]]] = []
+
+    def enable(self, code: str, pattern: Optional[FlowPattern] = None, *, until: Optional[float] = None) -> None:
+        """Enable events with *code* for flows matching *pattern* (default: all)."""
+        self._subscriptions.append((code, pattern or FlowPattern.wildcard(), until))
+
+    def disable(self, code: str, pattern: Optional[FlowPattern] = None) -> int:
+        """Remove subscriptions for *code* (and pattern, when given); returns count removed."""
+        before = len(self._subscriptions)
+        self._subscriptions = [
+            (existing_code, existing_pattern, until)
+            for existing_code, existing_pattern, until in self._subscriptions
+            if not (existing_code == code and (pattern is None or existing_pattern == pattern))
+        ]
+        return before - len(self._subscriptions)
+
+    def disable_all(self) -> None:
+        self._subscriptions.clear()
+
+    def allows(self, event: Event, now: float = 0.0) -> bool:
+        """Return True when *event* should be generated at simulated time *now*."""
+        if event.is_reprocess:
+            return True
+        for code, pattern, until in self._subscriptions:
+            if code != event.code:
+                continue
+            if until is not None and now > until:
+                continue
+            if event.key is None or pattern.matches_either_direction(event.key):
+                return True
+        return False
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)

@@ -1,0 +1,331 @@
+"""Southbound wire protocol.
+
+The paper's prototype exchanges JSON messages between the MB controller and
+middleboxes over UNIX sockets to invoke operations, carry state, raise events,
+and acknowledge puts.  This module defines that message schema and its JSON
+encoding.  The controller/MB channel (:mod:`repro.core.channel`) models the
+transfer time of each encoded message, so message sizes directly influence the
+controller-performance results (Figures 10a/10b).
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .errors import ProtocolError
+from .flowspace import FlowKey, FlowPattern
+from .state import SharedChunk, StateChunk, StateRole
+
+_xids = itertools.count(1)
+
+
+class MessageType:
+    """Message type tags used on the wire."""
+
+    # controller -> middlebox requests
+    GET_CONFIG = "get_config"
+    SET_CONFIG = "set_config"
+    DEL_CONFIG = "del_config"
+    GET_PERFLOW = "get_perflow"
+    PUT_PERFLOW = "put_perflow"
+    DEL_PERFLOW = "del_perflow"
+    GET_SHARED = "get_shared"
+    PUT_SHARED = "put_shared"
+    GET_STATS = "get_stats"
+    ENABLE_EVENTS = "enable_events"
+    DISABLE_EVENTS = "disable_events"
+    TRANSFER_END = "transfer_end"
+    REPROCESS_PACKET = "reprocess_packet"
+
+    # middlebox -> controller responses
+    CONFIG_VALUE = "config_value"
+    STATE_CHUNK = "state_chunk"
+    SHARED_STATE = "shared_state"
+    GET_COMPLETE = "get_complete"
+    STATS_REPLY = "stats_reply"
+    ACK = "ack"
+    ERROR = "error"
+
+    # middlebox -> controller notifications
+    EVENT = "event"
+
+
+#: Request types whose ACK the controller waits for.
+ACKED_REQUESTS = frozenset(
+    {
+        MessageType.SET_CONFIG,
+        MessageType.DEL_CONFIG,
+        MessageType.PUT_PERFLOW,
+        MessageType.DEL_PERFLOW,
+        MessageType.PUT_SHARED,
+        MessageType.REPROCESS_PACKET,
+        MessageType.TRANSFER_END,
+        MessageType.ENABLE_EVENTS,
+        MessageType.DISABLE_EVENTS,
+    }
+)
+
+
+@dataclass
+class Message:
+    """One southbound protocol message."""
+
+    type: str
+    xid: int = field(default_factory=lambda: next(_xids))
+    #: xid of the request this message responds to (for responses/acks).
+    reply_to: Optional[int] = None
+    mb: str = ""
+    body: Dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Encode to the JSON wire form."""
+        wire = {"type": self.type, "xid": self.xid, "mb": self.mb, "body": self.body}
+        if self.reply_to is not None:
+            wire["reply_to"] = self.reply_to
+        try:
+            return json.dumps(wire, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"cannot encode message {self.type}: {exc}") from exc
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Decode a message from its JSON wire form."""
+        try:
+            wire = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"malformed message: {exc}") from exc
+        for required in ("type", "xid"):
+            if required not in wire:
+                raise ProtocolError(f"message missing field {required!r}")
+        return cls(
+            type=wire["type"],
+            xid=wire["xid"],
+            reply_to=wire.get("reply_to"),
+            mb=wire.get("mb", ""),
+            body=wire.get("body", {}),
+        )
+
+    @property
+    def wire_size(self) -> int:
+        """Size of the encoded message in bytes."""
+        return len(self.encode())
+
+
+# -- body encoding helpers -------------------------------------------------------
+
+
+def encode_pattern(pattern: FlowPattern) -> dict:
+    return pattern.as_dict()
+
+
+def decode_pattern(body: dict) -> FlowPattern:
+    return FlowPattern.parse(body)
+
+
+def encode_chunk(chunk: StateChunk) -> dict:
+    """Encode a per-flow chunk for transport inside a STATE_CHUNK message."""
+    return {
+        "key": chunk.key.as_dict(),
+        "role": chunk.role.value,
+        "blob": base64.b64encode(chunk.blob).decode("ascii"),
+        "metadata": chunk.metadata,
+    }
+
+
+def decode_chunk(body: dict) -> StateChunk:
+    try:
+        return StateChunk(
+            key=FlowKey.from_dict(body["key"]),
+            role=StateRole(body["role"]),
+            blob=base64.b64decode(body["blob"]),
+            metadata=dict(body.get("metadata", {})),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed state chunk: {exc}") from exc
+
+
+def encode_shared_chunk(chunk: SharedChunk) -> dict:
+    """Encode a shared-state chunk for transport inside a SHARED_STATE message."""
+    return {
+        "role": chunk.role.value,
+        "blob": base64.b64encode(chunk.blob).decode("ascii"),
+        "metadata": chunk.metadata,
+    }
+
+
+def decode_shared_chunk(body: dict) -> SharedChunk:
+    try:
+        return SharedChunk(
+            role=StateRole(body["role"]),
+            blob=base64.b64decode(body["blob"]),
+            metadata=dict(body.get("metadata", {})),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed shared chunk: {exc}") from exc
+
+
+# -- request constructors -----------------------------------------------------------
+
+
+def get_config(mb: str, key: str) -> Message:
+    return Message(MessageType.GET_CONFIG, mb=mb, body={"key": key})
+
+
+def set_config(mb: str, key: str, values: list) -> Message:
+    return Message(MessageType.SET_CONFIG, mb=mb, body={"key": key, "values": values})
+
+
+def del_config(mb: str, key: str) -> Message:
+    return Message(MessageType.DEL_CONFIG, mb=mb, body={"key": key})
+
+
+def get_perflow(mb: str, role: StateRole, pattern: FlowPattern, *, transfer: bool = False) -> Message:
+    """Request per-flow state; ``transfer=True`` marks exported chunks for re-process events."""
+    return Message(
+        MessageType.GET_PERFLOW,
+        mb=mb,
+        body={"role": role.value, "pattern": encode_pattern(pattern), "transfer": transfer},
+    )
+
+
+def put_perflow(mb: str, chunk: StateChunk) -> Message:
+    return Message(MessageType.PUT_PERFLOW, mb=mb, body={"chunk": encode_chunk(chunk)})
+
+
+def del_perflow(mb: str, role: StateRole, pattern: FlowPattern) -> Message:
+    return Message(
+        MessageType.DEL_PERFLOW,
+        mb=mb,
+        body={"role": role.value, "pattern": encode_pattern(pattern)},
+    )
+
+
+def get_shared(mb: str, role: StateRole, *, transfer: bool = False) -> Message:
+    return Message(MessageType.GET_SHARED, mb=mb, body={"role": role.value, "transfer": transfer})
+
+
+def put_shared(mb: str, chunk: SharedChunk) -> Message:
+    return Message(MessageType.PUT_SHARED, mb=mb, body={"chunk": encode_shared_chunk(chunk)})
+
+
+def get_stats(mb: str, pattern: FlowPattern) -> Message:
+    return Message(MessageType.GET_STATS, mb=mb, body={"pattern": encode_pattern(pattern)})
+
+
+def enable_events(mb: str, code: str, pattern: Optional[FlowPattern] = None, until: Optional[float] = None) -> Message:
+    body: Dict[str, Any] = {"code": code}
+    if pattern is not None:
+        body["pattern"] = encode_pattern(pattern)
+    if until is not None:
+        body["until"] = until
+    return Message(MessageType.ENABLE_EVENTS, mb=mb, body=body)
+
+
+def disable_events(mb: str, code: str, pattern: Optional[FlowPattern] = None) -> Message:
+    body: Dict[str, Any] = {"code": code}
+    if pattern is not None:
+        body["pattern"] = encode_pattern(pattern)
+    return Message(MessageType.DISABLE_EVENTS, mb=mb, body=body)
+
+
+def transfer_end(mb: str) -> Message:
+    """Tell a middlebox an in-progress clone/merge transfer has completed."""
+    return Message(MessageType.TRANSFER_END, mb=mb, body={})
+
+
+# -- packet and event codecs ----------------------------------------------------------
+
+from ..net.packet import Packet  # noqa: E402  (placed here to keep the dependency local)
+from .events import Event  # noqa: E402
+
+
+def encode_packet(packet: Packet) -> dict:
+    """Encode a full packet (payload, flags, and middlebox annotations) for transport."""
+    from .chunks import encode_value
+
+    wire = {
+        "nw_src": packet.nw_src,
+        "nw_dst": packet.nw_dst,
+        "nw_proto": packet.nw_proto,
+        "tp_src": packet.tp_src,
+        "tp_dst": packet.tp_dst,
+        "payload": base64.b64encode(packet.payload).decode("ascii"),
+        "flags": sorted(packet.flags),
+        "seq": packet.seq,
+        "created_at": packet.created_at,
+    }
+    if packet.annotations:
+        wire["annotations"] = encode_value(dict(packet.annotations))
+    if packet.encoded_size is not None:
+        wire["encoded_size"] = packet.encoded_size
+    return wire
+
+
+def decode_packet(body: dict) -> Packet:
+    from .chunks import decode_value
+
+    try:
+        packet = Packet(
+            nw_src=body["nw_src"],
+            nw_dst=body["nw_dst"],
+            nw_proto=int(body["nw_proto"]),
+            tp_src=int(body["tp_src"]),
+            tp_dst=int(body["tp_dst"]),
+            payload=base64.b64decode(body.get("payload", "")),
+            flags=frozenset(body.get("flags", [])),
+            seq=int(body.get("seq", 0)),
+            created_at=float(body.get("created_at", 0.0)),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed packet encoding: {exc}") from exc
+    if "annotations" in body:
+        packet.annotations = decode_value(body["annotations"])
+    if "encoded_size" in body:
+        packet.encoded_size = int(body["encoded_size"])
+    return packet
+
+
+def event_message(event: Event) -> Message:
+    """Build the EVENT message a middlebox sends to the controller."""
+    body: Dict[str, Any] = {
+        "code": event.code,
+        "event_id": event.event_id,
+        "raised_at": event.raised_at,
+        "shared": event.shared,
+        "values": dict(event.values),
+    }
+    if event.key is not None:
+        body["key"] = event.key.as_dict()
+    if event.packet is not None:
+        body["packet"] = encode_packet(event.packet)
+    return Message(MessageType.EVENT, mb=event.mb_name, body=body)
+
+
+def decode_event(message: Message) -> Event:
+    """Reconstruct an :class:`Event` from an EVENT message."""
+    body = message.body
+    key = FlowKey.from_dict(body["key"]) if "key" in body else None
+    packet = decode_packet(body["packet"]) if "packet" in body else None
+    return Event(
+        mb_name=message.mb,
+        code=body.get("code", ""),
+        key=key,
+        packet=packet,
+        values=dict(body.get("values", {})),
+        raised_at=float(body.get("raised_at", 0.0)),
+        shared=bool(body.get("shared", False)),
+    )
+
+
+def reprocess_message(mb: str, event: Event) -> Message:
+    """Build the message the controller sends to the destination MB to replay a packet."""
+    body: Dict[str, Any] = {"shared": event.shared}
+    if event.key is not None:
+        body["key"] = event.key.as_dict()
+    if event.packet is not None:
+        body["packet"] = encode_packet(event.packet)
+    return Message(MessageType.REPROCESS_PACKET, mb=mb, body=body)

@@ -1,0 +1,140 @@
+"""The application-facing ("northbound") control API.
+
+Control applications never talk to middleboxes directly; they use this facade
+over the :class:`~repro.core.controller.MBController`.  The six operations of
+the paper's section 5 are exposed under both their paper names (``readConfig``,
+``writeConfig``, ``stats``, ``moveInternal``, ``cloneSupport``,
+``mergeInternal``) and snake_case aliases.  All operations are asynchronous on
+the simulated clock: they return :class:`~repro.net.simulator.Future` objects
+(or :class:`~repro.core.operations.OperationHandle` for the stateful
+operations) that control-application processes ``yield`` on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..net.simulator import Future
+from .controller import MBController
+from .events import Event
+from .flowspace import FlowPattern
+from .operations import OperationHandle
+
+PatternLike = Union[FlowPattern, Dict[str, object], List[str], str, None]
+
+
+def _as_pattern(pattern: PatternLike) -> FlowPattern:
+    if isinstance(pattern, FlowPattern):
+        return pattern
+    return FlowPattern.parse(pattern)
+
+
+class NorthboundAPI:
+    """The control API handed to control applications."""
+
+    def __init__(self, controller: MBController) -> None:
+        self.controller = controller
+
+    # -- configuration ---------------------------------------------------------------
+
+    def read_config(self, src_mb: str, key: str = "*") -> Future:
+        """``readConfig(SrcMB, HierarchicalKey)`` — returns a future of the flat config mapping."""
+        return self.controller.read_config(src_mb, key)
+
+    def write_config(self, dst_mb: str, key: str, values: Union[list, Dict[str, list]]) -> Future:
+        """``writeConfig(DstMB, HierarchicalKey, [values...])``.
+
+        When ``key`` is ``"*"`` the values argument must be a flat mapping (as
+        returned by :meth:`read_config`) and the whole tree is written —
+        the paper's "duplicate the configuration" idiom.
+        """
+        if key in ("*", ""):
+            if not isinstance(values, dict):
+                raise TypeError("writeConfig with key '*' requires a mapping of key -> values")
+            return self.controller.write_config_tree(dst_mb, values)
+        if isinstance(values, dict):
+            raise TypeError("writeConfig with a specific key requires a list of values")
+        return self.controller.write_config(dst_mb, key, list(values))
+
+    def clone_config(self, src_mb: str, dst_mb: str, key: str = "*") -> Future:
+        """Composition of readConfig and writeConfig (the paper's cloneConfig)."""
+        result = self.controller.sim.event(name=f"cloneConfig({src_mb}->{dst_mb})")
+
+        def on_read(read_future: Future) -> None:
+            if read_future.exception is not None:
+                result.fail(read_future.exception)
+                return
+            values = read_future.result
+            if key in ("*", ""):
+                write_future = self.controller.write_config_tree(dst_mb, values)
+            else:
+                write_future = self.controller.write_config(dst_mb, key, list(values))
+            write_future.add_done_callback(
+                lambda wf: result.fail(wf.exception) if wf.exception is not None else result.succeed(values)
+            )
+
+        self.controller.read_config(src_mb, key).add_done_callback(on_read)
+        return result
+
+    # -- informational ----------------------------------------------------------------
+
+    def stats(self, src_mb: str, header_fields: PatternLike = None) -> Future:
+        """``stats(SrcMB, HeaderFieldList)`` — how much state exists for a key."""
+        return self.controller.query_stats(src_mb, _as_pattern(header_fields))
+
+    # -- stateful operations ------------------------------------------------------------
+
+    def move_internal(self, src_mb: str, dst_mb: str, header_fields: PatternLike = None) -> OperationHandle:
+        """``moveInternal(SrcMB, DstMB, HeaderFieldList)``."""
+        return self.controller.move_internal(src_mb, dst_mb, _as_pattern(header_fields))
+
+    def clone_support(self, src_mb: str, dst_mb: str) -> OperationHandle:
+        """``cloneSupport(SrcMB, DstMB)``."""
+        return self.controller.clone_support(src_mb, dst_mb)
+
+    def merge_internal(self, src_mb: str, dst_mb: str) -> OperationHandle:
+        """``mergeInternal(SrcMB, DstMB)``."""
+        return self.controller.merge_internal(src_mb, dst_mb)
+
+    def end_transfer(self, src_mb: str) -> Future:
+        """Tell *src_mb* that a clone/merge transfer has completed.
+
+        After a clone, the source keeps raising re-process events so the clone
+        stays up to date while the transaction is in progress; once the control
+        application has switched routing (and any related configuration) it
+        calls this so the source stops replaying its own traffic to the clone.
+        """
+        return self.controller.end_transfer(src_mb)
+
+    # -- events -----------------------------------------------------------------------------
+
+    def subscribe_events(self, callback) -> None:
+        """Receive introspection events forwarded by the controller."""
+        self.controller.subscribe_events(callback)
+
+    def enable_events(
+        self,
+        mb_name: str,
+        code: str,
+        header_fields: PatternLike = None,
+        *,
+        until: Optional[float] = None,
+    ) -> Future:
+        """Enable generation of introspection events at a middlebox."""
+        pattern = _as_pattern(header_fields) if header_fields is not None else None
+        return self.controller.enable_events(mb_name, code, pattern, until)
+
+    def disable_events(self, mb_name: str, code: str, header_fields: PatternLike = None) -> Future:
+        """Disable generation of introspection events at a middlebox."""
+        pattern = _as_pattern(header_fields) if header_fields is not None else None
+        return self.controller.disable_events(mb_name, code, pattern)
+
+    # -- paper-style camelCase aliases -------------------------------------------------------
+
+    readConfig = read_config
+    writeConfig = write_config
+    cloneConfig = clone_config
+    moveInternal = move_internal
+    cloneSupport = clone_support
+    mergeInternal = merge_internal
+    endTransfer = end_transfer

@@ -1,0 +1,448 @@
+"""Northbound operation state machines.
+
+The controller (paper section 5) turns each northbound call into a sequence of
+southbound requests.  The sequencing logic for the three stateful operations —
+``moveInternal``, ``cloneSupport``, and ``mergeInternal`` — lives here as
+explicit state machines driven by the messages the middleboxes send back:
+
+* **move** (Figure 5): issue per-flow supporting and reporting gets at the
+  source; for every chunk streamed back issue a put at the destination; buffer
+  re-process events for a flow until that flow's put is ACKed, then forward
+  them; the operation *returns* when both gets have completed and every put is
+  ACKed; after a quiescence period with no further events, delete the moved
+  state at the source.
+* **clone**: get shared supporting state at the source, put it at the
+  destination; forward shared re-process events after the put is ACKed; after
+  quiescence, tell the source the transfer ended (no delete).
+* **merge**: like clone but for shared supporting *and* shared reporting
+  state; the destination's own merge logic combines the states.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..net.simulator import Future
+from . import messages
+from .events import Event
+from .flowspace import FlowKey, FlowPattern
+from .messages import Message, MessageType
+from .state import StateRole
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import MBController
+
+_operation_ids = itertools.count(1)
+
+
+class OperationType(enum.Enum):
+    """Kinds of northbound operations the controller brokers."""
+
+    READ_CONFIG = "readConfig"
+    WRITE_CONFIG = "writeConfig"
+    STATS = "stats"
+    MOVE = "moveInternal"
+    CLONE = "cloneSupport"
+    MERGE = "mergeInternal"
+
+
+@dataclass
+class OperationRecord:
+    """Measurements collected for one northbound operation."""
+
+    op_id: int
+    type: OperationType
+    src: str
+    dst: str
+    pattern: Optional[FlowPattern] = None
+    started_at: float = 0.0
+    completed_at: Optional[float] = None
+    finalized_at: Optional[float] = None
+    chunks_transferred: int = 0
+    bytes_transferred: int = 0
+    events_received: int = 0
+    events_buffered: int = 0
+    events_forwarded: int = 0
+    puts_acked: int = 0
+    deleted_chunks: int = 0
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Time from start until the operation returned (None while running)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class OperationHandle:
+    """What a control application gets back from a stateful northbound call.
+
+    ``completed`` resolves when the operation returns in the paper's sense
+    (all puts ACKed); ``finalized`` resolves after the post-quiescence step
+    (delete at the source for moves, transfer-end for clone/merge).
+    """
+
+    def __init__(self, sim, record: OperationRecord) -> None:
+        self.record = record
+        self.completed: Future = sim.event(name=f"{record.type.value}#{record.op_id}")
+        self.finalized: Future = sim.event(name=f"{record.type.value}#{record.op_id}.finalized")
+
+    @property
+    def op_id(self) -> int:
+        return self.record.op_id
+
+
+class _StatefulOperation:
+    """Shared machinery for move/clone/merge."""
+
+    op_type: OperationType = OperationType.MOVE
+
+    def __init__(
+        self,
+        controller: "MBController",
+        src: str,
+        dst: str,
+        pattern: Optional[FlowPattern] = None,
+    ) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.src = src
+        self.dst = dst
+        self.pattern = pattern
+        self.record = OperationRecord(
+            op_id=next(_operation_ids),
+            type=self.op_type,
+            src=src,
+            dst=dst,
+            pattern=pattern,
+            started_at=self.sim.now,
+        )
+        self.handle = OperationHandle(self.sim, self.record)
+        self._last_event_at = self.sim.now
+        self._finalize_scheduled = False
+        self._finalized = False
+
+    # -- hooks implemented by subclasses -------------------------------------------
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def on_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finalize(self) -> None:
+        raise NotImplementedError
+
+    # -- common helpers -------------------------------------------------------------
+
+    def _complete(self) -> None:
+        if self.handle.completed.done:
+            return
+        self.record.completed_at = self.sim.now
+        self.handle.completed.succeed(self.record)
+        self._arm_quiescence()
+
+    def _fail(self, exc: Exception) -> None:
+        if not self.handle.completed.done:
+            self.handle.completed.fail(exc)
+        if not self.handle.finalized.done:
+            self.handle.finalized.fail(exc)
+        self.controller._operation_finished(self)
+
+    def _touch_event_clock(self) -> None:
+        self._last_event_at = self.sim.now
+
+    def _arm_quiescence(self) -> None:
+        """Schedule the quiescence check that triggers finalisation."""
+        if self._finalize_scheduled or self._finalized:
+            return
+        self._finalize_scheduled = True
+        self.sim.schedule(self.controller.config.quiescence_timeout, self._quiescence_check)
+
+    def _quiescence_check(self) -> None:
+        self._finalize_scheduled = False
+        if self._finalized:
+            return
+        idle_for = self.sim.now - self._last_event_at
+        if idle_for + 1e-12 >= self.controller.config.quiescence_timeout:
+            self._finalized = True
+            self._finalize()
+        else:
+            # Events arrived recently; check again once the remaining idle time elapses.
+            self._finalize_scheduled = True
+            self.sim.schedule(
+                self.controller.config.quiescence_timeout - idle_for, self._quiescence_check
+            )
+
+    def _mark_finalized(self) -> None:
+        self.record.finalized_at = self.sim.now
+        if not self.handle.finalized.done:
+            self.handle.finalized.succeed(self.record)
+        self.controller._operation_finished(self)
+
+
+class MoveOperation(_StatefulOperation):
+    """moveInternal: relocate per-flow supporting and reporting state."""
+
+    op_type = OperationType.MOVE
+
+    def __init__(self, controller: "MBController", src: str, dst: str, pattern: FlowPattern) -> None:
+        super().__init__(controller, src, dst, pattern)
+        self._gets_outstanding = 0
+        self._pending_put_keys: Dict[FlowKey, int] = {}
+        #: Flows whose put the destination has already ACKed; events for these
+        #: (and only these) may be forwarded immediately.
+        self._acked_keys: set = set()
+        self._buffered_events: Dict[FlowKey, List[Event]] = {}
+        self._gets_complete = False
+
+    # -- starting ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        for role in (StateRole.SUPPORTING, StateRole.REPORTING):
+            self._gets_outstanding += 1
+            self.controller.send(
+                self.src,
+                messages.get_perflow(self.src, role, self.pattern, transfer=True),
+                on_reply=self._on_src_reply,
+            )
+
+    # -- source-side replies ------------------------------------------------------------
+
+    def _on_src_reply(self, message: Message) -> None:
+        if message.type == MessageType.STATE_CHUNK:
+            chunk = messages.decode_chunk(message.body["chunk"])
+            self.record.chunks_transferred += 1
+            self.record.bytes_transferred += chunk.size
+            key = chunk.key
+            self._pending_put_keys[key] = self._pending_put_keys.get(key, 0) + 1
+            self.controller.send(
+                self.dst,
+                messages.put_perflow(self.dst, chunk),
+                on_reply=lambda reply, key=key: self._on_put_reply(reply, key),
+            )
+        elif message.type == MessageType.GET_COMPLETE:
+            self._gets_outstanding -= 1
+            if self._gets_outstanding == 0:
+                self._gets_complete = True
+                self._check_complete()
+        elif message.type == MessageType.ERROR:
+            from .errors import OperationError
+
+            self._fail(OperationError(f"move failed at source {self.src}: {message.body.get('reason')}"))
+
+    def _on_put_reply(self, message: Message, key: FlowKey) -> None:
+        if message.type == MessageType.ERROR:
+            from .errors import OperationError
+
+            self._fail(OperationError(f"move failed at destination {self.dst}: {message.body.get('reason')}"))
+            return
+        if message.type != MessageType.ACK:
+            return
+        self.record.puts_acked += 1
+        remaining = self._pending_put_keys.get(key, 0) - 1
+        if remaining <= 0:
+            self._pending_put_keys.pop(key, None)
+            self._acked_keys.add(key.bidirectional())
+            self._flush_buffered(key)
+        else:
+            self._pending_put_keys[key] = remaining
+        self._check_complete()
+
+    def _check_complete(self) -> None:
+        if self._gets_complete and not self._pending_put_keys:
+            # Any events still buffered (their chunk was streamed and ACKed in the
+            # meantime, or the flow produced no chunk at all) can now be replayed.
+            for key in list(self._buffered_events):
+                self._flush_buffered(key)
+            self._complete()
+
+    # -- events ------------------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """Handle a re-process event raised by the source middlebox.
+
+        Events are buffered until the destination has ACKed the put for the
+        affected flow's state (paper Figure 5) — forwarding earlier would let
+        the replayed packet's updates be overwritten when the chunk arrives,
+        violating atomicity requirement (iii).
+        """
+        self.record.events_received += 1
+        self._touch_event_clock()
+        key = event.key.bidirectional() if event.key is not None else None
+        should_buffer = (
+            self.controller.config.buffer_events
+            and key is not None
+            and key not in self._acked_keys
+            and not self.handle.completed.done
+        )
+        if should_buffer:
+            self.record.events_buffered += 1
+            self._buffered_events.setdefault(key, []).append(event)
+        else:
+            self._forward(event)
+
+    def _flush_buffered(self, key: FlowKey) -> None:
+        buffered = self._buffered_events.pop(key.bidirectional(), [])
+        for event in buffered:
+            self._forward(event)
+
+    def _forward(self, event: Event) -> None:
+        if self.controller.forward_event(self.dst, event):
+            self.record.events_forwarded += 1
+
+    # -- finalisation ---------------------------------------------------------------------------
+
+    def _finalize(self) -> None:
+        """After quiescence: delete the moved state at the source."""
+        from .errors import UnknownMiddleboxError
+
+        pending = {"count": 2}
+
+        def on_delete_reply(message: Message) -> None:
+            if message.type not in (MessageType.ACK, MessageType.ERROR):
+                return
+            if message.type == MessageType.ACK:
+                self.record.deleted_chunks += int(message.body.get("removed", 0))
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                self._mark_finalized()
+
+        for role in (StateRole.SUPPORTING, StateRole.REPORTING):
+            try:
+                self.controller.send(
+                    self.src,
+                    messages.del_perflow(self.src, role, self.pattern),
+                    on_reply=on_delete_reply,
+                )
+            except UnknownMiddleboxError:
+                # The source was terminated (e.g. scale-down) before quiescence;
+                # there is nothing left to delete.
+                pending["count"] -= 1
+        if pending["count"] == 0:
+            self._mark_finalized()
+
+
+class CloneOperation(_StatefulOperation):
+    """cloneSupport: copy shared supporting state from source to destination."""
+
+    op_type = OperationType.CLONE
+
+    def __init__(self, controller: "MBController", src: str, dst: str) -> None:
+        super().__init__(controller, src, dst, pattern=None)
+        self._shared_put_pending = False
+        self._buffered_events: List[Event] = []
+
+    @property
+    def _roles(self) -> List[StateRole]:
+        return [StateRole.SUPPORTING]
+
+    def start(self) -> None:
+        self._gets_outstanding = len(self._roles)
+        for role in self._roles:
+            self.controller.send(
+                self.src,
+                messages.get_shared(self.src, role, transfer=True),
+                on_reply=self._on_src_reply,
+            )
+
+    def _on_src_reply(self, message: Message) -> None:
+        if message.type == MessageType.SHARED_STATE:
+            chunk = messages.decode_shared_chunk(message.body["chunk"])
+            self.record.chunks_transferred += 1
+            self.record.bytes_transferred += chunk.size
+            self._shared_put_pending = True
+            self.controller.send(self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply)
+            self._gets_outstanding -= 1
+        elif message.type == MessageType.GET_COMPLETE:
+            # The source had no shared state of this role; nothing to transfer.
+            self._gets_outstanding -= 1
+            self._maybe_complete()
+        elif message.type == MessageType.ERROR:
+            from .errors import OperationError
+
+            self._fail(OperationError(f"{self.op_type.value} failed at {self.src}: {message.body.get('reason')}"))
+
+    def _on_put_reply(self, message: Message) -> None:
+        if message.type == MessageType.ERROR:
+            from .errors import OperationError
+
+            self._fail(OperationError(f"{self.op_type.value} failed at {self.dst}: {message.body.get('reason')}"))
+            return
+        if message.type != MessageType.ACK:
+            return
+        self.record.puts_acked += 1
+        self._shared_put_pending = False
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self._gets_outstanding == 0 and not self._shared_put_pending:
+            for event in self._buffered_events:
+                self._forward(event)
+            self._buffered_events.clear()
+            self._complete()
+
+    def on_event(self, event: Event) -> None:
+        """Buffer shared-state events until the destination has the cloned state installed."""
+        self.record.events_received += 1
+        self._touch_event_clock()
+        if self.controller.config.buffer_events and not self.handle.completed.done:
+            self.record.events_buffered += 1
+            self._buffered_events.append(event)
+        else:
+            self._forward(event)
+
+    def _forward(self, event: Event) -> None:
+        if self.controller.forward_event(self.dst, event):
+            self.record.events_forwarded += 1
+
+    def _finalize(self) -> None:
+        """After quiescence: end the transfer at the source (no delete for clones)."""
+        from .errors import UnknownMiddleboxError
+
+        def on_reply(message: Message) -> None:
+            if message.type in (MessageType.ACK, MessageType.ERROR):
+                self._mark_finalized()
+
+        try:
+            self.controller.send(self.src, messages.transfer_end(self.src), on_reply=on_reply)
+        except UnknownMiddleboxError:
+            # The source was terminated before quiescence; nothing to notify.
+            self._mark_finalized()
+
+
+class MergeOperation(CloneOperation):
+    """mergeInternal: merge shared supporting and reporting state into the destination."""
+
+    op_type = OperationType.MERGE
+
+    def __init__(self, controller: "MBController", src: str, dst: str) -> None:
+        super().__init__(controller, src, dst)
+        self._pending_put_count = 0
+
+    @property
+    def _roles(self) -> List[StateRole]:
+        return [StateRole.SUPPORTING, StateRole.REPORTING]
+
+    def _on_src_reply(self, message: Message) -> None:
+        if message.type == MessageType.SHARED_STATE:
+            chunk = messages.decode_shared_chunk(message.body["chunk"])
+            self.record.chunks_transferred += 1
+            self.record.bytes_transferred += chunk.size
+            self._pending_put_count += 1
+            self._shared_put_pending = True
+            self.controller.send(self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply)
+            self._gets_outstanding -= 1
+        else:
+            super()._on_src_reply(message)
+
+    def _on_put_reply(self, message: Message) -> None:
+        if message.type == MessageType.ACK:
+            self._pending_put_count -= 1
+            if self._pending_put_count > 0:
+                self.record.puts_acked += 1
+                return
+        super()._on_put_reply(message)

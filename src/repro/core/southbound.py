@@ -1,0 +1,437 @@
+"""The MB-facing ("southbound") API.
+
+Two pieces live here:
+
+* :class:`MiddleboxInterface` — the abstract API every OpenMB-enabled
+  middlebox implements (paper section 4): configuration get/set/del, per-flow
+  and shared supporting/reporting state get/put/del, state statistics, event
+  subscription management, transfer marking, and side-effect-free packet
+  re-processing.
+* :class:`SouthboundAgent` — the "common code base" the paper adds to each
+  middlebox (~500 LOC in their prototype): it receives protocol messages from
+  the controller over the middlebox's control channel, invokes the interface,
+  models the middlebox-side processing cost of each operation on the simulated
+  clock, streams per-flow chunks back one message at a time, sends ACKs, and
+  forwards every event the middlebox raises to the controller.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..net.packet import Packet
+from ..net.simulator import Simulator
+from . import messages
+from .channel import ControlChannel
+from .errors import GranularityError, MiddleboxError, OpenMBError, StateError
+from .events import Event
+from .flowspace import FlowPattern
+from .messages import Message, MessageType
+from .state import SharedChunk, StateChunk, StateRole
+
+
+@dataclass
+class ProcessingCosts:
+    """Simulated middlebox-side costs of packet and API processing (seconds).
+
+    Defaults are calibrated to give the *shapes* the paper reports: get time
+    linear in the number of chunks and roughly 6x the cost of puts, per-packet
+    latency rising by about 2 % while a get is being serviced, and per-chunk
+    costs higher for middleboxes with deep per-flow state (the IDS) than for
+    shallow ones (the passive monitor).
+    """
+
+    #: Per-packet processing time during normal operation.
+    packet_processing: float = 200e-6
+    #: Multiplier applied to packet processing while a get/put is in progress.
+    transfer_slowdown: float = 1.02
+    #: Fixed cost before the first chunk of a per-flow get is produced.
+    get_base: float = 2e-3
+    #: Cost per entry scanned during a per-flow get (the linear search).
+    get_scan_per_entry: float = 1.5e-6
+    #: Serialisation + send cost per exported per-flow chunk.
+    get_per_chunk: float = 600e-6
+    #: Cost to deserialise and install one per-flow chunk (≈ get/6 in the paper).
+    put_per_chunk: float = 100e-6
+    #: Cost to delete per-flow state matching a pattern (per chunk removed).
+    del_per_chunk: float = 10e-6
+    #: Fixed cost for exporting shared state plus per-byte serialisation cost.
+    shared_get_base: float = 1e-3
+    shared_get_per_byte: float = 65e-9
+    #: Fixed cost for importing (or merging) shared state plus per-byte cost.
+    shared_put_base: float = 1e-3
+    shared_put_per_byte: float = 30e-9
+    #: Cost of configuration operations and other small control actions.
+    config_op: float = 500e-6
+    #: Cost for re-processing a replayed packet (no external side effects).
+    reprocess_packet: float = 150e-6
+
+
+class MiddleboxInterface(abc.ABC):
+    """Abstract southbound API implemented by every OpenMB-enabled middlebox."""
+
+    name: str
+    mb_type: str
+    costs: ProcessingCosts
+
+    # -- configuration state (section 4.1.1) ------------------------------------
+
+    @abc.abstractmethod
+    def get_config(self, key: str) -> dict:
+        """Return the configuration subtree under *key* as a flat mapping."""
+
+    @abc.abstractmethod
+    def set_config(self, key: str, values: list) -> None:
+        """Set the ordered values stored under *key*."""
+
+    @abc.abstractmethod
+    def del_config(self, key: str) -> None:
+        """Delete *key* and its subtree."""
+
+    # -- per-flow state (sections 4.1.2-4.1.3) ------------------------------------
+
+    @abc.abstractmethod
+    def get_perflow(self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False) -> List[StateChunk]:
+        """Export sealed per-flow chunks of the given role matching *pattern*.
+
+        With ``mark_transfer`` the exported flows are flagged so subsequent
+        packets touching them raise re-process events.
+        """
+
+    @abc.abstractmethod
+    def put_perflow(self, chunk: StateChunk) -> None:
+        """Import one sealed per-flow chunk."""
+
+    @abc.abstractmethod
+    def del_perflow(self, role: StateRole, pattern: FlowPattern) -> int:
+        """Delete per-flow state of the given role matching *pattern*; returns count."""
+
+    # -- shared state ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_shared(self, role: StateRole, *, mark_transfer: bool = False) -> Optional[SharedChunk]:
+        """Export the sealed shared state of the given role (None when the MB has none)."""
+
+    @abc.abstractmethod
+    def put_shared(self, chunk: SharedChunk) -> None:
+        """Import shared state, merging with any existing shared state."""
+
+    # -- statistics, events, transfers ----------------------------------------------
+
+    @abc.abstractmethod
+    def state_stats(self, pattern: FlowPattern) -> dict:
+        """Counts and sizes of state matching *pattern* (the ``stats`` call)."""
+
+    @abc.abstractmethod
+    def enable_events(self, code: str, pattern: Optional[FlowPattern] = None, until: Optional[float] = None) -> None:
+        """Enable generation of introspection events with *code*."""
+
+    @abc.abstractmethod
+    def disable_events(self, code: str, pattern: Optional[FlowPattern] = None) -> None:
+        """Disable generation of introspection events with *code*."""
+
+    @abc.abstractmethod
+    def end_transfer(self) -> None:
+        """Clear transfer markers set by get operations (clone/merge completion)."""
+
+    @abc.abstractmethod
+    def reprocess(self, packet: Packet, *, shared: bool) -> None:
+        """Re-process a replayed packet to update state, suppressing side effects."""
+
+    @abc.abstractmethod
+    def perflow_count(self, role: StateRole) -> int:
+        """Number of per-flow state entries of the given role (for scan-cost modelling)."""
+
+    @abc.abstractmethod
+    def set_event_sink(self, sink: Callable[[Event], None]) -> None:
+        """Register where raised events are delivered (the southbound agent)."""
+
+
+@dataclass
+class AgentStats:
+    """Counters kept by a southbound agent."""
+
+    requests_handled: int = 0
+    chunks_sent: int = 0
+    chunks_received: int = 0
+    events_sent: int = 0
+    errors_sent: int = 0
+    gets_in_progress: int = 0
+
+
+class SouthboundAgent:
+    """Message-level adapter between one middlebox and its control channel."""
+
+    def __init__(self, sim: Simulator, middlebox: MiddleboxInterface, channel: ControlChannel) -> None:
+        self.sim = sim
+        self.middlebox = middlebox
+        self.channel = channel
+        self.stats = AgentStats()
+        # The middlebox handles state-import work sequentially (a single control
+        # thread in the paper's prototype), so puts queue behind one another.
+        self._import_free_at = 0.0
+        channel.bind_middlebox(self.handle_message)
+        middlebox.set_event_sink(self.send_event)
+
+    # -- middlebox -> controller -------------------------------------------------------
+
+    def send_event(self, event: Event) -> None:
+        """Forward an event raised by the middlebox to the controller."""
+        self.stats.events_sent += 1
+        self.channel.send_to_controller(messages.event_message(event))
+
+    def _send(self, message: Message) -> None:
+        self.channel.send_to_controller(message)
+
+    def _ack(self, request: Message, body: Optional[dict] = None) -> None:
+        self._send(Message(MessageType.ACK, reply_to=request.xid, mb=self.middlebox.name, body=body or {}))
+
+    def _error(self, request: Message, reason: str) -> None:
+        self.stats.errors_sent += 1
+        self._send(Message(MessageType.ERROR, reply_to=request.xid, mb=self.middlebox.name, body={"reason": reason}))
+
+    # -- controller -> middlebox -------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch one request from the controller."""
+        self.stats.requests_handled += 1
+        handler = {
+            MessageType.GET_CONFIG: self._handle_get_config,
+            MessageType.SET_CONFIG: self._handle_set_config,
+            MessageType.DEL_CONFIG: self._handle_del_config,
+            MessageType.GET_PERFLOW: self._handle_get_perflow,
+            MessageType.PUT_PERFLOW: self._handle_put_perflow,
+            MessageType.DEL_PERFLOW: self._handle_del_perflow,
+            MessageType.GET_SHARED: self._handle_get_shared,
+            MessageType.PUT_SHARED: self._handle_put_shared,
+            MessageType.GET_STATS: self._handle_get_stats,
+            MessageType.ENABLE_EVENTS: self._handle_enable_events,
+            MessageType.DISABLE_EVENTS: self._handle_disable_events,
+            MessageType.TRANSFER_END: self._handle_transfer_end,
+            MessageType.REPROCESS_PACKET: self._handle_reprocess,
+        }.get(message.type)
+        if handler is None:
+            self._error(message, f"unsupported message type {message.type!r}")
+            return
+        try:
+            handler(message)
+        except (StateError, GranularityError, MiddleboxError) as exc:
+            self._error(message, str(exc))
+
+    # configuration ---------------------------------------------------------------------
+
+    def _handle_get_config(self, message: Message) -> None:
+        def respond() -> None:
+            try:
+                values = self.middlebox.get_config(message.body.get("key", "*"))
+            except Exception as exc:  # config errors become protocol errors
+                self._error(message, str(exc))
+                return
+            self._send(
+                Message(
+                    MessageType.CONFIG_VALUE,
+                    reply_to=message.xid,
+                    mb=self.middlebox.name,
+                    body={"values": values},
+                )
+            )
+
+        self.sim.schedule(self.middlebox.costs.config_op, respond)
+
+    def _handle_set_config(self, message: Message) -> None:
+        def respond() -> None:
+            try:
+                self.middlebox.set_config(message.body["key"], list(message.body.get("values", [])))
+            except Exception as exc:
+                self._error(message, str(exc))
+                return
+            self._ack(message)
+
+        self.sim.schedule(self.middlebox.costs.config_op, respond)
+
+    def _handle_del_config(self, message: Message) -> None:
+        def respond() -> None:
+            try:
+                self.middlebox.del_config(message.body["key"])
+            except Exception as exc:
+                self._error(message, str(exc))
+                return
+            self._ack(message)
+
+        self.sim.schedule(self.middlebox.costs.config_op, respond)
+
+    # per-flow state ----------------------------------------------------------------------
+
+    def _handle_get_perflow(self, message: Message) -> None:
+        role = StateRole(message.body["role"])
+        pattern = FlowPattern.parse(message.body.get("pattern"))
+        mark_transfer = bool(message.body.get("transfer", False))
+        costs = self.middlebox.costs
+        scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.perflow_count(role)
+        self.stats.gets_in_progress += 1
+
+        def run_get() -> None:
+            try:
+                chunks = self.middlebox.get_perflow(role, pattern, mark_transfer=mark_transfer)
+            except OpenMBError as exc:
+                self.stats.gets_in_progress -= 1
+                self._error(message, str(exc))
+                return
+            # Stream one chunk per message, spaced by the per-chunk serialisation cost.
+            for index, chunk in enumerate(chunks):
+                self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
+            completion_delay = costs.get_per_chunk * len(chunks)
+            self.sim.schedule(completion_delay, self._send_get_complete, message, role, len(chunks))
+
+        self.sim.schedule(scan_cost, run_get)
+
+    def _send_chunk(self, request: Message, chunk: StateChunk) -> None:
+        self.stats.chunks_sent += 1
+        reply = messages.Message(
+            MessageType.STATE_CHUNK,
+            reply_to=request.xid,
+            mb=self.middlebox.name,
+            body={"chunk": messages.encode_chunk(chunk)},
+        )
+        self._send(reply)
+
+    def _send_get_complete(self, request: Message, role: StateRole, count: int) -> None:
+        self.stats.gets_in_progress -= 1
+        self._send(
+            Message(
+                MessageType.GET_COMPLETE,
+                reply_to=request.xid,
+                mb=self.middlebox.name,
+                body={"role": role.value, "count": count},
+            )
+        )
+
+    def _handle_put_perflow(self, message: Message) -> None:
+        chunk = messages.decode_chunk(message.body["chunk"])
+
+        def respond() -> None:
+            try:
+                self.middlebox.put_perflow(chunk)
+            except OpenMBError as exc:
+                self._error(message, str(exc))
+                return
+            self.stats.chunks_received += 1
+            self._ack(message, {"key": chunk.key.as_dict(), "role": chunk.role.value})
+
+        start = max(self.sim.now, self._import_free_at)
+        finish = start + self.middlebox.costs.put_per_chunk
+        self._import_free_at = finish
+        self.sim.schedule_at(finish, respond)
+
+    def _handle_del_perflow(self, message: Message) -> None:
+        role = StateRole(message.body["role"])
+        pattern = FlowPattern.parse(message.body.get("pattern"))
+
+        def respond() -> None:
+            try:
+                removed = self.middlebox.del_perflow(role, pattern)
+            except OpenMBError as exc:
+                self._error(message, str(exc))
+                return
+            self._ack(message, {"removed": removed})
+
+        # Model the deletion cost as proportional to the number of entries scanned.
+        cost = self.middlebox.costs.del_per_chunk * max(1, self.middlebox.perflow_count(role))
+        self.sim.schedule(cost, respond)
+
+    # shared state --------------------------------------------------------------------------
+
+    def _handle_get_shared(self, message: Message) -> None:
+        role = StateRole(message.body["role"])
+        mark_transfer = bool(message.body.get("transfer", False))
+        costs = self.middlebox.costs
+
+        def respond() -> None:
+            chunk = self.middlebox.get_shared(role, mark_transfer=mark_transfer)
+            if chunk is None:
+                self._send(
+                    Message(
+                        MessageType.GET_COMPLETE,
+                        reply_to=message.xid,
+                        mb=self.middlebox.name,
+                        body={"role": role.value, "count": 0},
+                    )
+                )
+                return
+            delay = costs.shared_get_per_byte * chunk.size
+            self.sim.schedule(
+                delay,
+                self._send,
+                Message(
+                    MessageType.SHARED_STATE,
+                    reply_to=message.xid,
+                    mb=self.middlebox.name,
+                    body={"chunk": messages.encode_shared_chunk(chunk)},
+                ),
+            )
+
+        self.sim.schedule(costs.shared_get_base, respond)
+
+    def _handle_put_shared(self, message: Message) -> None:
+        chunk = messages.decode_shared_chunk(message.body["chunk"])
+        costs = self.middlebox.costs
+        delay = costs.shared_put_base + costs.shared_put_per_byte * chunk.size
+
+        def respond() -> None:
+            try:
+                self.middlebox.put_shared(chunk)
+            except OpenMBError as exc:
+                self._error(message, str(exc))
+                return
+            self._ack(message, {"role": chunk.role.value})
+
+        self.sim.schedule(delay, respond)
+
+    # statistics, events, transfers -------------------------------------------------------------
+
+    def _handle_get_stats(self, message: Message) -> None:
+        pattern = FlowPattern.parse(message.body.get("pattern"))
+
+        def respond() -> None:
+            try:
+                stats = self.middlebox.state_stats(pattern)
+            except OpenMBError as exc:
+                self._error(message, str(exc))
+                return
+            self._send(
+                Message(
+                    MessageType.STATS_REPLY,
+                    reply_to=message.xid,
+                    mb=self.middlebox.name,
+                    body={"stats": stats},
+                )
+            )
+
+        self.sim.schedule(self.middlebox.costs.config_op, respond)
+
+    def _handle_enable_events(self, message: Message) -> None:
+        pattern = FlowPattern.parse(message.body.get("pattern")) if "pattern" in message.body else None
+        self.middlebox.enable_events(message.body["code"], pattern, message.body.get("until"))
+        self._ack(message)
+
+    def _handle_disable_events(self, message: Message) -> None:
+        pattern = FlowPattern.parse(message.body.get("pattern")) if "pattern" in message.body else None
+        self.middlebox.disable_events(message.body["code"], pattern)
+        self._ack(message)
+
+    def _handle_transfer_end(self, message: Message) -> None:
+        self.middlebox.end_transfer()
+        self._ack(message)
+
+    def _handle_reprocess(self, message: Message) -> None:
+        packet = messages.decode_packet(message.body["packet"]) if "packet" in message.body else None
+        shared = bool(message.body.get("shared", False))
+
+        def respond() -> None:
+            if packet is not None:
+                self.middlebox.reprocess(packet, shared=shared)
+            self._ack(message)
+
+        self.sim.schedule(self.middlebox.costs.reprocess_packet, respond)

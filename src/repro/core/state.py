@@ -1,0 +1,332 @@
+"""Middlebox state taxonomy and state stores.
+
+Section 3.1 of the paper classifies middlebox state along two dimensions:
+
+* its *role* — configuring, supporting, or reporting; and
+* its *partitioning* — per-flow or shared.
+
+and notes which roles the middlebox itself reads and/or writes (Table 1).
+
+This module encodes that taxonomy and provides the two state containers that
+every OpenMB-enabled middlebox uses internally:
+
+* :class:`PerFlowStateStore` — native per-flow state objects indexed by
+  :class:`~repro.core.flowspace.FlowKey`, queried by
+  :class:`~repro.core.flowspace.FlowPattern` (by default with the linear scan
+  the paper's prototype uses; an optional index reproduces the "wildcard match
+  techniques" the paper suggests as an improvement).
+* :class:`SharedStateSlot` — a single shared state object with clone and merge
+  hooks supplied by the middlebox.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .errors import GranularityError, StateError
+from .flowspace import FlowKey, FlowPattern
+
+T = TypeVar("T")
+
+
+class StateRole(enum.Enum):
+    """The purpose a piece of middlebox state serves (paper Table 1)."""
+
+    CONFIGURING = "configuring"
+    SUPPORTING = "supporting"
+    REPORTING = "reporting"
+
+
+class StateScope(enum.Enum):
+    """Whether a piece of state applies to one flow or to all traffic."""
+
+    PER_FLOW = "per-flow"
+    SHARED = "shared"
+
+
+class AccessMode(enum.Flag):
+    """Which operations the middlebox's own logic performs on the state."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+
+@dataclass(frozen=True)
+class StateClass:
+    """One cell of the taxonomy: a role, a scope, and the MB's access mode."""
+
+    role: StateRole
+    scope: StateScope
+    mb_access: AccessMode
+
+    @property
+    def movable(self) -> bool:
+        """Whether the controller may relocate this state between instances.
+
+        Configuration state is owned by the controller (it is written, not
+        moved); supporting and reporting state are what move/clone/merge act on.
+        """
+        return self.role is not StateRole.CONFIGURING
+
+    @property
+    def cloneable(self) -> bool:
+        """Whether cloning is safe.
+
+        Shared *reporting* state must not be cloned (double reporting, paper
+        section 4.1.3); every other movable class may be cloned.
+        """
+        if not self.movable:
+            return False
+        return not (self.role is StateRole.REPORTING and self.scope is StateScope.SHARED)
+
+
+#: The taxonomy of paper Table 1, keyed by (role, scope).
+TAXONOMY: Dict[Tuple[StateRole, StateScope], StateClass] = {
+    (StateRole.CONFIGURING, StateScope.SHARED): StateClass(
+        StateRole.CONFIGURING, StateScope.SHARED, AccessMode.READ
+    ),
+    (StateRole.SUPPORTING, StateScope.PER_FLOW): StateClass(
+        StateRole.SUPPORTING, StateScope.PER_FLOW, AccessMode.READ_WRITE
+    ),
+    (StateRole.SUPPORTING, StateScope.SHARED): StateClass(
+        StateRole.SUPPORTING, StateScope.SHARED, AccessMode.READ_WRITE
+    ),
+    (StateRole.REPORTING, StateScope.PER_FLOW): StateClass(
+        StateRole.REPORTING, StateScope.PER_FLOW, AccessMode.WRITE
+    ),
+    (StateRole.REPORTING, StateScope.SHARED): StateClass(
+        StateRole.REPORTING, StateScope.SHARED, AccessMode.WRITE
+    ),
+}
+
+
+def state_class(role: StateRole, scope: StateScope) -> StateClass:
+    """Look up the taxonomy entry for a role/scope combination."""
+    try:
+        return TAXONOMY[(role, scope)]
+    except KeyError:
+        raise StateError(f"no taxonomy entry for {role.value} / {scope.value}") from None
+
+
+@dataclass
+class StateChunk:
+    """A unit of exported per-flow state: a flow key and a sealed value blob.
+
+    This is the ``[HeaderFieldList : EncryptedChunk]`` pair of the paper's
+    southbound API.  The blob is opaque to the controller; the only visible
+    metadata are the flow key, the role, and the blob size.
+    """
+
+    key: FlowKey
+    role: StateRole
+    blob: bytes
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Size of the sealed blob in bytes."""
+        return len(self.blob)
+
+
+@dataclass
+class SharedChunk:
+    """A unit of exported shared state: a single sealed blob for the whole MB."""
+
+    role: StateRole
+    blob: bytes
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.blob)
+
+
+class PerFlowStateStore(Generic[T]):
+    """Per-flow state objects indexed by flow key.
+
+    The store records which header fields the owning middlebox uses to
+    identify per-flow state (its *granularity*); queries at a finer
+    granularity raise :class:`GranularityError`, as required by the paper.
+
+    Lookups by pattern use a linear scan by default (matching the paper's
+    prototype, whose get cost grows linearly and dominates put cost).  Passing
+    ``indexed=True`` maintains a per-source-address index, used by the
+    "indexed get" ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        granularity: Tuple[str, ...] = ("nw_proto", "nw_src", "nw_dst", "tp_src", "tp_dst"),
+        *,
+        indexed: bool = False,
+        bidirectional: bool = True,
+    ) -> None:
+        self.granularity = tuple(granularity)
+        self.bidirectional = bidirectional
+        self._entries: Dict[FlowKey, T] = {}
+        self._indexed = indexed
+        self._by_src: Dict[str, set] = {}
+        #: Linear-scan step counter; exposed so benchmarks can verify the
+        #: access pattern without timing noise.
+        self.scan_steps = 0
+
+    # -- mutation --------------------------------------------------------------
+
+    def canonical_key(self, key: FlowKey) -> FlowKey:
+        """Key under which state for *key* is stored (bidirectional canonical form)."""
+        return key.bidirectional() if self.bidirectional else key
+
+    def put(self, key: FlowKey, value: T) -> None:
+        """Insert or replace the state object for a flow."""
+        key = self.canonical_key(key)
+        self._entries[key] = value
+        if self._indexed:
+            self._by_src.setdefault(key.nw_src, set()).add(key)
+            self._by_src.setdefault(key.nw_dst, set()).add(key)
+
+    def get(self, key: FlowKey) -> Optional[T]:
+        """Return the state object for a flow, or None when absent."""
+        return self._entries.get(self.canonical_key(key))
+
+    def get_or_create(self, key: FlowKey, factory: Callable[[], T]) -> T:
+        """Return the state object for a flow, creating it via *factory* if missing."""
+        canonical = self.canonical_key(key)
+        if canonical not in self._entries:
+            self.put(canonical, factory())
+        return self._entries[canonical]
+
+    def remove(self, key: FlowKey) -> Optional[T]:
+        """Remove and return the state object for a flow (None when absent)."""
+        canonical = self.canonical_key(key)
+        value = self._entries.pop(canonical, None)
+        if value is not None and self._indexed:
+            for address in (canonical.nw_src, canonical.nw_dst):
+                keys = self._by_src.get(address)
+                if keys is not None:
+                    keys.discard(canonical)
+                    if not keys:
+                        del self._by_src[address]
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_src.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return self.canonical_key(key) in self._entries
+
+    def keys(self) -> List[FlowKey]:
+        return list(self._entries.keys())
+
+    def items(self) -> Iterator[Tuple[FlowKey, T]]:
+        return iter(list(self._entries.items()))
+
+    def _check_granularity(self, pattern: FlowPattern) -> None:
+        requested = set(pattern.specified_fields())
+        available = set(self.granularity)
+        finer = requested - available
+        if finer:
+            raise GranularityError(
+                "request is finer than the middlebox's per-flow granularity: "
+                f"extra fields {sorted(finer)}; available {sorted(available)}"
+            )
+
+    def query(self, pattern: FlowPattern) -> List[Tuple[FlowKey, T]]:
+        """Return all (key, value) pairs whose flow matches *pattern*.
+
+        Raises :class:`GranularityError` when the pattern constrains fields the
+        middlebox does not use to identify per-flow state.
+        """
+        self._check_granularity(pattern)
+        if pattern.is_wildcard:
+            self.scan_steps += len(self._entries)
+            return list(self._entries.items())
+        if self._indexed:
+            candidates = self._index_candidates(pattern)
+            if candidates is not None:
+                self.scan_steps += len(candidates)
+                return [
+                    (key, self._entries[key])
+                    for key in candidates
+                    if key in self._entries and pattern.matches_either_direction(key)
+                ]
+        matches: List[Tuple[FlowKey, T]] = []
+        for key, value in self._entries.items():
+            self.scan_steps += 1
+            if pattern.matches_either_direction(key):
+                matches.append((key, value))
+        return matches
+
+    def remove_matching(self, pattern: FlowPattern) -> List[Tuple[FlowKey, T]]:
+        """Remove and return all entries matching *pattern*."""
+        matches = self.query(pattern)
+        for key, _ in matches:
+            self.remove(key)
+        return matches
+
+    def count_matching(self, pattern: FlowPattern) -> int:
+        """Number of entries matching *pattern* (used by the stats call)."""
+        return len(self.query(pattern))
+
+    def _index_candidates(self, pattern: FlowPattern) -> Optional[set]:
+        """Candidate keys from the source/destination index, or None when unusable."""
+        for text in (pattern.nw_src, pattern.nw_dst):
+            if text is not None and "/" not in text:
+                return set(self._by_src.get(text, set()))
+        return None
+
+
+class SharedStateSlot(Generic[T]):
+    """Holder for one piece of shared state with clone/merge hooks.
+
+    The middlebox supplies the merge function (the paper keeps merge logic
+    inside the middlebox because it depends on state semantics) and optionally
+    a clone function (defaulting to a deep copy performed by the serializer at
+    export time, so the default here is identity pass-through of whatever the
+    caller provides).
+    """
+
+    def __init__(
+        self,
+        initial: T,
+        *,
+        merge: Optional[Callable[[T, T], T]] = None,
+        clone: Optional[Callable[[T], T]] = None,
+    ) -> None:
+        self.value: T = initial
+        self._merge = merge
+        self._clone = clone
+        #: Number of times external state has been merged into this slot.
+        self.merge_count = 0
+
+    def replace(self, value: T) -> None:
+        """Overwrite the shared state (used when importing into an empty MB)."""
+        self.value = value
+
+    def merge_in(self, incoming: T) -> None:
+        """Merge externally supplied state into the local state.
+
+        Falls back to replacement when the middlebox supplied no merge hook,
+        mirroring the paper's note that an MB may "start afresh when the state
+        does not permit merge".
+        """
+        if self._merge is None:
+            self.value = incoming
+        else:
+            self.value = self._merge(self.value, incoming)
+        self.merge_count += 1
+
+    def clone_value(self) -> T:
+        """Return a copy of the shared state suitable for export."""
+        if self._clone is not None:
+            return self._clone(self.value)
+        return self.value

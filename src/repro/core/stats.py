@@ -1,0 +1,76 @@
+"""Controller-side instrumentation.
+
+The evaluation section measures the controller itself: how long operations
+take, how many are in flight, how many events were buffered versus forwarded,
+and how much state crossed the control channels.  :class:`ControllerStats`
+aggregates those measurements; every completed
+:class:`~repro.core.operations.OperationRecord` is archived here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .operations import OperationRecord, OperationType
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate counters and the archive of completed operations."""
+
+    messages_received: int = 0
+    messages_sent: int = 0
+    events_received: int = 0
+    events_forwarded: int = 0
+    events_buffered: int = 0
+    introspection_events: int = 0
+    operations_started: int = 0
+    operations_completed: int = 0
+    operations_failed: int = 0
+    records: List[OperationRecord] = field(default_factory=list)
+
+    def archive(self, record: OperationRecord) -> None:
+        """Store a finished operation's record."""
+        self.records.append(record)
+        self.operations_completed += 1
+        self.events_buffered += record.events_buffered
+        self.events_forwarded += record.events_forwarded
+
+    # -- queries used by benchmarks and reports --------------------------------------
+
+    def records_of_type(self, op_type: OperationType) -> List[OperationRecord]:
+        return [record for record in self.records if record.type is op_type]
+
+    def mean_duration(self, op_type: Optional[OperationType] = None) -> float:
+        """Mean completion time of archived operations (seconds), 0.0 when none."""
+        durations = [
+            record.duration
+            for record in self.records
+            if record.duration is not None and (op_type is None or record.type is op_type)
+        ]
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)
+
+    def total_chunks(self) -> int:
+        return sum(record.chunks_transferred for record in self.records)
+
+    def total_bytes(self) -> int:
+        return sum(record.bytes_transferred for record in self.records)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary dictionary convenient for reports."""
+        return {
+            "operations_started": self.operations_started,
+            "operations_completed": self.operations_completed,
+            "operations_failed": self.operations_failed,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "events_received": self.events_received,
+            "events_forwarded": self.events_forwarded,
+            "events_buffered": self.events_buffered,
+            "chunks_transferred": self.total_chunks(),
+            "bytes_transferred": self.total_bytes(),
+            "mean_move_duration": self.mean_duration(OperationType.MOVE),
+        }

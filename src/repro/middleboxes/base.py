@@ -1,0 +1,456 @@
+"""Middlebox base class.
+
+Every middlebox in the reproduction derives from :class:`Middlebox`, which
+provides:
+
+* attachment to the simulated network (it is a
+  :class:`~repro.net.topology.Node`: packets arrive via :meth:`receive`, are
+  processed after a simulated per-packet cost, and are forwarded onward);
+* the internal state containers of the taxonomy — a hierarchical configuration
+  tree, per-flow supporting and reporting stores, and optional shared
+  supporting/reporting slots;
+* a full implementation of the southbound
+  :class:`~repro.core.southbound.MiddleboxInterface`: sealed export/import of
+  per-flow and shared chunks, deletes, statistics, event subscriptions,
+  transfer marking, and side-effect-free re-processing;
+* re-process event generation: when a packet updates state that is flagged as
+  transferred (because a move or clone exported it), the middlebox raises a
+  re-process event carrying the packet (paper section 4.2.1);
+* introspection event generation subject to the middlebox's event filter.
+
+Subclasses implement the middlebox-specific packet-processing logic
+(:meth:`process_packet`) plus the (de)serialisation hooks for their native
+state objects — exactly the split of responsibility the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.chunks import ChunkCodec
+from ..core.config import HierarchicalConfig
+from ..core.errors import MiddleboxError, StateError
+from ..core.events import Event, EventCode, EventFilter
+from ..core.flowspace import FlowKey, FlowPattern
+from ..core.southbound import MiddleboxInterface, ProcessingCosts
+from ..core.state import (
+    PerFlowStateStore,
+    SharedChunk,
+    SharedStateSlot,
+    StateChunk,
+    StateRole,
+)
+from ..net.packet import Packet
+from ..net.simulator import Simulator
+from ..net.topology import Node
+
+FULL_GRANULARITY = ("nw_proto", "nw_src", "nw_dst", "tp_src", "tp_dst")
+
+
+class Verdict(enum.Enum):
+    """What a middlebox decides to do with a processed packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    CONSUME = "consume"
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of processing one packet."""
+
+    verdict: Verdict = Verdict.FORWARD
+    #: Packet to forward instead of the original (e.g. an encoded or rewritten copy).
+    packet: Optional[Packet] = None
+    #: Per-flow keys whose supporting or reporting state this packet updated.
+    updated_flows: List[FlowKey] = field(default_factory=list)
+    #: True when the packet updated shared supporting or reporting state.
+    updated_shared: bool = False
+
+
+@dataclass
+class MiddleboxCounters:
+    """Per-middlebox data-plane counters used by the evaluation."""
+
+    packets_received: int = 0
+    packets_forwarded: int = 0
+    packets_dropped: int = 0
+    bytes_received: int = 0
+    reprocessed_packets: int = 0
+    reprocess_events_raised: int = 0
+    introspection_events_raised: int = 0
+    processing_time_total: float = 0.0
+
+    @property
+    def mean_processing_latency(self) -> float:
+        if self.packets_received == 0:
+            return 0.0
+        return self.processing_time_total / self.packets_received
+
+
+class Middlebox(Node, MiddleboxInterface):
+    """Base class for all OpenMB-enabled middleboxes."""
+
+    #: Default middlebox type string; subclasses override.
+    MB_TYPE = "generic"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        costs: Optional[ProcessingCosts] = None,
+        granularity: Sequence[str] = FULL_GRANULARITY,
+        indexed_store: bool = False,
+        compress_chunks: bool = False,
+    ) -> None:
+        Node.__init__(self, sim, name)
+        self.mb_type = self.MB_TYPE
+        self.costs = costs or ProcessingCosts()
+        self.config = HierarchicalConfig()
+        self.codec = ChunkCodec.for_mb_type(self.mb_type, compress=compress_chunks)
+        self.support_store: PerFlowStateStore = PerFlowStateStore(tuple(granularity), indexed=indexed_store)
+        self.report_store: PerFlowStateStore = PerFlowStateStore(tuple(granularity), indexed=indexed_store)
+        #: Shared supporting / reporting slots; subclasses assign these when they have shared state.
+        self.shared_support: Optional[SharedStateSlot] = None
+        self.shared_report: Optional[SharedStateSlot] = None
+        self.event_filter = EventFilter()
+        self.counters = MiddleboxCounters()
+        #: Flows whose exported per-flow state is flagged for re-process events.
+        self._transferred_flows: set = set()
+        #: True while exported shared state is flagged for re-process events.
+        self._shared_transfer_active = False
+        #: True while re-processing a replayed packet (external side effects suppressed).
+        self._reprocessing = False
+        #: True while re-processing a replay that covers a shared-state transfer.
+        self._reprocessing_shared = False
+        #: Simulated time until which an API call keeps the middlebox slightly slower.
+        self._api_busy_until = 0.0
+        self._event_sink: Optional[Callable[[Event], None]] = None
+        #: Fixed egress port; when None the packet leaves by "the other" port.
+        self.egress_port: Optional[int] = None
+
+    # =====================================================================================
+    # Subclass hooks
+    # =====================================================================================
+
+    def process_packet(self, packet: Packet) -> ProcessResult:
+        """Middlebox-specific packet processing; subclasses must implement."""
+        raise NotImplementedError
+
+    def serialize_support(self, key: FlowKey, obj: object) -> object:
+        """Convert a native per-flow supporting object into a chunk payload."""
+        return obj
+
+    def deserialize_support(self, key: FlowKey, payload: object) -> object:
+        """Reconstruct a native per-flow supporting object from a chunk payload."""
+        return payload
+
+    def serialize_report(self, key: FlowKey, obj: object) -> object:
+        """Convert a native per-flow reporting object into a chunk payload."""
+        return obj
+
+    def deserialize_report(self, key: FlowKey, payload: object) -> object:
+        """Reconstruct a native per-flow reporting object from a chunk payload."""
+        return payload
+
+    def on_config_changed(self, key: str) -> None:
+        """Hook invoked after the controller changes configuration state."""
+
+    # =====================================================================================
+    # Network data plane
+    # =====================================================================================
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Packet arrival from the network: schedule processing after the per-packet cost."""
+        self.counters.packets_received += 1
+        self.counters.bytes_received += packet.wire_size
+        cost = self.costs.packet_processing
+        if self.sim.now < self._api_busy_until:
+            cost *= self.costs.transfer_slowdown
+        self.counters.processing_time_total += cost
+        self.sim.schedule(cost, self._process_and_forward, packet, in_port)
+
+    def _process_and_forward(self, packet: Packet, in_port: int) -> None:
+        result = self.process_packet(packet)
+        self._after_processing(packet, result, in_port=in_port, suppress_side_effects=False)
+
+    def _after_processing(
+        self,
+        packet: Packet,
+        result: ProcessResult,
+        *,
+        in_port: Optional[int],
+        suppress_side_effects: bool,
+    ) -> None:
+        # Re-process events: raised when the packet updated transferred state.
+        if not suppress_side_effects:
+            self._maybe_raise_reprocess(packet, result)
+        # External side effects (forwarding) are suppressed for replayed packets.
+        if suppress_side_effects:
+            return
+        if result.verdict is Verdict.FORWARD:
+            outgoing = result.packet or packet
+            out_port = self._choose_output_port(in_port)
+            if out_port is not None:
+                self.counters.packets_forwarded += 1
+                self.send_out(out_port, outgoing)
+            else:
+                self.counters.packets_dropped += 1
+        elif result.verdict is Verdict.DROP:
+            self.counters.packets_dropped += 1
+        # CONSUME: the middlebox is the packet's destination; nothing to forward.
+
+    def _choose_output_port(self, in_port: Optional[int]) -> Optional[int]:
+        if self.egress_port is not None:
+            return self.egress_port
+        if in_port is None:
+            return next(iter(self.ports), None)
+        other_ports = [port for port in self.ports if port != in_port]
+        if not other_ports:
+            return None
+        return other_ports[0]
+
+    def _maybe_raise_reprocess(self, packet: Packet, result: ProcessResult) -> None:
+        keys_in_transfer = [
+            key for key in result.updated_flows if key.bidirectional() in self._transferred_flows
+        ]
+        shared_in_transfer = result.updated_shared and self._shared_transfer_active
+        if not keys_in_transfer and not shared_in_transfer:
+            return
+        event = Event(
+            mb_name=self.name,
+            code=EventCode.REPROCESS,
+            key=keys_in_transfer[0] if keys_in_transfer else None,
+            packet=packet,
+            raised_at=self.sim.now,
+            # ``shared`` tells the re-processing middlebox that the packet updated
+            # shared state whose transfer (clone/merge) is in progress, so the
+            # replay must apply the shared-state update too (the source's copy of
+            # that update will not survive the transfer).
+            shared=shared_in_transfer,
+        )
+        self.counters.reprocess_events_raised += 1
+        self._emit(event)
+
+    # =====================================================================================
+    # Events
+    # =====================================================================================
+
+    def set_event_sink(self, sink: Callable[[Event], None]) -> None:
+        self._event_sink = sink
+
+    def _emit(self, event: Event) -> None:
+        if self._event_sink is not None:
+            self._event_sink(event)
+
+    def raise_event(self, code: str, key: Optional[FlowKey] = None, **values: object) -> bool:
+        """Raise an introspection event if the current filter allows it.
+
+        Returns True when the event was generated.  Subclasses call this at the
+        points where they create or update notable state (the paper suggests
+        "points where information is written to a log file").
+        """
+        event = Event(
+            mb_name=self.name,
+            code=code,
+            key=key,
+            values=dict(values),
+            raised_at=self.sim.now,
+        )
+        if not self.event_filter.allows(event, now=self.sim.now):
+            return False
+        self.counters.introspection_events_raised += 1
+        self._emit(event)
+        return True
+
+    def enable_events(self, code: str, pattern: Optional[FlowPattern] = None, until: Optional[float] = None) -> None:
+        self.event_filter.enable(code, pattern, until=until)
+
+    def disable_events(self, code: str, pattern: Optional[FlowPattern] = None) -> None:
+        self.event_filter.disable(code, pattern)
+
+    # =====================================================================================
+    # Southbound API: configuration state
+    # =====================================================================================
+
+    def get_config(self, key: str = "*") -> dict:
+        return self.config.export(key)
+
+    def set_config(self, key: str, values: list) -> None:
+        self.config.set(key, values)
+        self._note_api_activity(self.costs.config_op)
+        self.on_config_changed(key)
+
+    def del_config(self, key: str) -> None:
+        self.config.delete(key)
+        self.on_config_changed(key)
+
+    # =====================================================================================
+    # Southbound API: per-flow state
+    # =====================================================================================
+
+    def _store_for(self, role: StateRole) -> PerFlowStateStore:
+        if role is StateRole.SUPPORTING:
+            return self.support_store
+        if role is StateRole.REPORTING:
+            return self.report_store
+        raise StateError(f"per-flow operations do not apply to {role.value} state")
+
+    def _serializer_for(self, role: StateRole) -> Tuple[Callable, Callable]:
+        if role is StateRole.SUPPORTING:
+            return self.serialize_support, self.deserialize_support
+        return self.serialize_report, self.deserialize_report
+
+    def get_perflow(self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False) -> List[StateChunk]:
+        store = self._store_for(role)
+        serialize, _ = self._serializer_for(role)
+        matches = store.query(pattern)
+        chunks: List[StateChunk] = []
+        for key, obj in matches:
+            payload = serialize(key, obj)
+            chunks.append(self.codec.seal_perflow(key, payload, role))
+            if mark_transfer:
+                self._transferred_flows.add(key.bidirectional())
+        busy = self.costs.get_base + self.costs.get_per_chunk * len(chunks)
+        self._note_api_activity(busy)
+        return chunks
+
+    def put_perflow(self, chunk: StateChunk) -> None:
+        store = self._store_for(chunk.role)
+        _, deserialize = self._serializer_for(chunk.role)
+        payload = self.codec.unseal_perflow(chunk)
+        obj = deserialize(chunk.key, payload)
+        store.put(chunk.key, obj)
+        self._note_api_activity(self.costs.put_per_chunk)
+
+    def del_perflow(self, role: StateRole, pattern: FlowPattern) -> int:
+        store = self._store_for(role)
+        removed = store.remove_matching(pattern)
+        for key, obj in removed:
+            self.on_perflow_deleted(role, key, obj)
+            self._transferred_flows.discard(key.bidirectional())
+        return len(removed)
+
+    def on_perflow_deleted(self, role: StateRole, key: FlowKey, obj: object) -> None:
+        """Hook invoked for each per-flow entry removed by a controller delete.
+
+        The default does nothing; the IDS uses it to mark connections as moved
+        so their removal does not produce anomaly log entries (the paper's
+        "moved flag").
+        """
+
+    # =====================================================================================
+    # Southbound API: shared state
+    # =====================================================================================
+
+    def _shared_slot(self, role: StateRole) -> Optional[SharedStateSlot]:
+        if role is StateRole.SUPPORTING:
+            return self.shared_support
+        if role is StateRole.REPORTING:
+            return self.shared_report
+        raise StateError(f"shared operations do not apply to {role.value} state")
+
+    def serialize_shared(self, role: StateRole, value: object) -> object:
+        """Convert native shared state into a chunk payload (subclasses may override)."""
+        return value
+
+    def deserialize_shared(self, role: StateRole, payload: object) -> object:
+        """Reconstruct native shared state from a chunk payload (subclasses may override)."""
+        return payload
+
+    def get_shared(self, role: StateRole, *, mark_transfer: bool = False) -> Optional[SharedChunk]:
+        slot = self._shared_slot(role)
+        if slot is None:
+            return None
+        payload = self.serialize_shared(role, slot.clone_value())
+        chunk = self.codec.seal_shared(payload, role)
+        if mark_transfer:
+            self._shared_transfer_active = True
+        self._note_api_activity(self.costs.shared_get_base + self.costs.shared_get_per_byte * chunk.size)
+        return chunk
+
+    def put_shared(self, chunk: SharedChunk) -> None:
+        slot = self._shared_slot(chunk.role)
+        if slot is None:
+            raise StateError(f"{self.name} has no shared {chunk.role.value} state to import into")
+        payload = self.codec.unseal_shared(chunk)
+        value = self.deserialize_shared(chunk.role, payload)
+        slot.merge_in(value)
+        self._note_api_activity(self.costs.shared_put_base + self.costs.shared_put_per_byte * chunk.size)
+
+    # =====================================================================================
+    # Southbound API: statistics, transfers, re-processing
+    # =====================================================================================
+
+    def state_stats(self, pattern: FlowPattern) -> dict:
+        support_matches = self.support_store.query(pattern)
+        report_matches = self.report_store.query(pattern)
+        return {
+            "perflow_supporting": len(support_matches),
+            "perflow_reporting": len(report_matches),
+            "shared_supporting": 1 if self.shared_support is not None else 0,
+            "shared_reporting": 1 if self.shared_report is not None else 0,
+            "config_keys": len(self.config.keys()),
+        }
+
+    def end_transfer(self) -> None:
+        self._transferred_flows.clear()
+        self._shared_transfer_active = False
+
+    def reprocess(self, packet: Packet, *, shared: bool = False) -> None:
+        """Re-process a replayed packet, updating state but suppressing side effects.
+
+        ``shared`` is True when the replay belongs to a shared-state transfer
+        (clone/merge): in that case the replay must also apply shared-state
+        updates, because the source middlebox's own copies of those updates are
+        made after the transferred snapshot and will not survive the transfer.
+        """
+        self.counters.reprocessed_packets += 1
+        self._reprocessing = True
+        self._reprocessing_shared = shared
+        try:
+            result = self.process_packet(packet)
+        finally:
+            self._reprocessing = False
+            self._reprocessing_shared = False
+        self._after_processing(packet, result, in_port=None, suppress_side_effects=True)
+
+    def perflow_count(self, role: StateRole) -> int:
+        return len(self._store_for(role))
+
+    # =====================================================================================
+    # Helpers for subclasses and the southbound agent
+    # =====================================================================================
+
+    @property
+    def is_reprocessing(self) -> bool:
+        """True while the middlebox is handling a replayed packet."""
+        return self._reprocessing
+
+    @property
+    def reprocess_covers_shared(self) -> bool:
+        """True while handling a replay that must also update shared state."""
+        return self._reprocessing_shared
+
+    def transferred_flow_count(self) -> int:
+        return len(self._transferred_flows)
+
+    def _note_api_activity(self, duration: float) -> None:
+        """Record that an API call occupies the middlebox until ``now + duration``.
+
+        While API activity is pending, packet processing latency rises by the
+        configured slowdown factor (the paper's ≈2 % increase during gets).
+        """
+        self._api_busy_until = max(self._api_busy_until, self.sim.now + duration)
+
+    def launch_like(self, other: "Middlebox") -> None:
+        """Copy configuration from another instance (used when launching replicas)."""
+        if other.mb_type != self.mb_type:
+            raise MiddleboxError(
+                f"cannot launch {self.name} ({self.mb_type}) from {other.name} ({other.mb_type})"
+            )
+        self.config = other.config.clone()
+        self.on_config_changed("*")

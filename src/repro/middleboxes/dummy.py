@@ -1,0 +1,119 @@
+"""Dummy middlebox used to benchmark the controller in isolation.
+
+The paper's controller-performance experiments (section 8.3, Figures 10a/10b)
+use "dummy MBs that simply replay traces of past state in response to gets,
+send acks in response to puts, and infinitely generate events during the
+lifetime of the experiment", with uniformly small state (202 bytes) and events
+(128 bytes).  :class:`DummyMiddlebox` reproduces that: it pre-populates a
+configurable number of fixed-size per-flow chunks and can generate a steady
+stream of re-process events, so controller timing is isolated from the cost of
+real middlebox logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.events import Event, EventCode
+from ..core.flowspace import FlowKey
+from ..core.southbound import ProcessingCosts
+from ..net.packet import Packet, tcp_packet
+from ..net.simulator import Simulator
+from .base import Middlebox, ProcessResult, Verdict
+
+#: Paper values: state chunks of 202 bytes, events of 128 bytes.
+PAPER_STATE_BYTES = 202
+PAPER_EVENT_PAYLOAD_BYTES = 64
+
+
+class DummyMiddlebox(Middlebox):
+    """A middlebox whose only job is to source and sink state and events."""
+
+    MB_TYPE = "dummy"
+
+    #: Near-zero middlebox-side costs so measured time is controller + channel time.
+    DEFAULT_COSTS = ProcessingCosts(
+        packet_processing=1e-6,
+        get_base=1e-6,
+        get_scan_per_entry=0.0,
+        get_per_chunk=5e-6,
+        put_per_chunk=5e-6,
+        del_per_chunk=1e-6,
+        shared_get_base=1e-6,
+        shared_put_base=1e-6,
+        config_op=1e-6,
+        reprocess_packet=1e-6,
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        chunk_count: int = 0,
+        chunk_bytes: int = PAPER_STATE_BYTES,
+        costs: Optional[ProcessingCosts] = None,
+        subnet: str = "10.1",
+    ) -> None:
+        super().__init__(sim, name, costs=costs or ProcessingCosts(**vars(self.DEFAULT_COSTS)))
+        self.chunk_bytes = chunk_bytes
+        self.subnet = subnet
+        self.events_generated = 0
+        if chunk_count:
+            self.populate(chunk_count)
+
+    # -- population -------------------------------------------------------------------------------
+
+    def flow_key_for(self, index: int) -> FlowKey:
+        """Deterministic flow key for the *index*-th synthetic chunk."""
+        return FlowKey(
+            nw_proto=6,
+            nw_src=f"{self.subnet}.{(index // 250) % 250 + 1}.{index % 250 + 1}",
+            nw_dst="192.0.2.10",
+            tp_src=1024 + (index % 60_000),
+            tp_dst=80,
+        )
+
+    def populate(self, count: int) -> None:
+        """Create *count* per-flow supporting and reporting entries of fixed size."""
+        for index in range(count):
+            key = self.flow_key_for(index)
+            payload = {"index": index, "data": "x" * self.chunk_bytes}
+            self.support_store.put(key, dict(payload))
+            self.report_store.put(key, {"index": index, "packets": index})
+
+    # -- packet processing (rarely used for the dummy) -----------------------------------------------
+
+    def process_packet(self, packet: Packet) -> ProcessResult:
+        key = packet.flow_key()
+        record = self.support_store.get_or_create(key, lambda: {"index": -1, "data": ""})
+        record["packets"] = record.get("packets", 0) + 1
+        return ProcessResult(verdict=Verdict.FORWARD, updated_flows=[key])
+
+    # -- event generation ---------------------------------------------------------------------------
+
+    def generate_reprocess_event(self, index: int = 0) -> Event:
+        """Emit one synthetic re-process event (as if a packet updated moved state)."""
+        key = self.flow_key_for(index)
+        packet = tcp_packet(key.nw_src, key.nw_dst, key.tp_src, key.tp_dst, b"e" * PAPER_EVENT_PAYLOAD_BYTES)
+        event = Event(
+            mb_name=self.name,
+            code=EventCode.REPROCESS,
+            key=key,
+            packet=packet,
+            raised_at=self.sim.now,
+        )
+        self.events_generated += 1
+        self.counters.reprocess_events_raised += 1
+        self._emit(event)
+        return event
+
+    def generate_events_at_rate(self, rate_per_second: float, duration: float) -> int:
+        """Schedule a steady stream of re-process events; returns how many were scheduled."""
+        if rate_per_second <= 0 or duration <= 0:
+            return 0
+        interval = 1.0 / rate_per_second
+        count = int(duration * rate_per_second)
+        for index in range(count):
+            self.sim.schedule(interval * (index + 1), self.generate_reprocess_event, index % max(1, len(self.support_store)))
+        return count

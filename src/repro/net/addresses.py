@@ -1,0 +1,64 @@
+"""Address allocation helpers for building simulated topologies and workloads."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..core.flowspace import IPv4Prefix, int_to_ip, ip_to_int
+
+
+class SubnetAllocator:
+    """Hands out host addresses from an IPv4 prefix in order.
+
+    Trace generators and topology builders use one allocator per logical site
+    (for example ``1.1.1.0/24`` for data-center A's application VMs and
+    ``1.1.2.0/24`` for data-center B, matching the prefixes used in the
+    paper's migration example).
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = IPv4Prefix.parse(prefix)
+        if self.prefix.length >= 31:
+            raise ValueError("subnet too small to allocate host addresses")
+        self._next_host = 1
+        self._max_host = (1 << (32 - self.prefix.length)) - 2
+
+    @property
+    def cidr(self) -> str:
+        """The prefix in CIDR notation."""
+        return str(self.prefix)
+
+    def allocate(self) -> str:
+        """Return the next unused host address in the subnet."""
+        if self._next_host > self._max_host:
+            raise ValueError(f"subnet {self.cidr} exhausted")
+        address = int_to_ip(self.prefix.network + self._next_host)
+        self._next_host += 1
+        return address
+
+    def allocate_many(self, count: int) -> List[str]:
+        """Return *count* consecutive host addresses."""
+        return [self.allocate() for _ in range(count)]
+
+    def contains(self, address: str) -> bool:
+        """Return True when *address* belongs to this subnet."""
+        return self.prefix.contains_ip(address)
+
+    def hosts(self) -> Iterator[str]:
+        """Iterate over every allocatable host address in the subnet."""
+        for offset in range(1, self._max_host + 1):
+            yield int_to_ip(self.prefix.network + offset)
+
+
+def mac_for_index(index: int) -> str:
+    """Deterministic locally administered MAC address for a node index."""
+    if not 0 <= index < (1 << 40):
+        raise ValueError("index out of range for a MAC address")
+    octets = [0x02] + [(index >> shift) & 0xFF for shift in (32, 24, 16, 8, 0)]
+    return ":".join(f"{octet:02x}" for octet in octets)
+
+
+def same_subnet(address_a: str, address_b: str, prefix_length: int = 24) -> bool:
+    """Return True when two addresses share the same prefix of the given length."""
+    mask = IPv4Prefix(0, prefix_length).mask if prefix_length else 0
+    return (ip_to_int(address_a) & mask) == (ip_to_int(address_b) & mask)

@@ -1,0 +1,128 @@
+"""OpenFlow-style flow tables: prioritized match/action rules.
+
+Switches forward packets according to the highest-priority rule whose
+:class:`~repro.core.flowspace.FlowPattern` matches the packet.  Rules carry
+a cookie so the SDN controller can remove everything it installed for one
+routing decision in a single call.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.flowspace import FlowPattern
+from .packet import Packet
+
+_rule_ids = itertools.count(1)
+
+
+class ActionType(enum.Enum):
+    """What a switch does with a matching packet."""
+
+    OUTPUT = "output"
+    DROP = "drop"
+    CONTROLLER = "controller"
+    BUFFER = "buffer"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One forwarding action; ``port`` is meaningful only for OUTPUT."""
+
+    type: ActionType
+    port: Optional[int] = None
+
+    @classmethod
+    def output(cls, port: int) -> "Action":
+        return cls(ActionType.OUTPUT, port)
+
+    @classmethod
+    def drop(cls) -> "Action":
+        return cls(ActionType.DROP)
+
+    @classmethod
+    def to_controller(cls) -> "Action":
+        return cls(ActionType.CONTROLLER)
+
+    @classmethod
+    def buffer(cls) -> "Action":
+        """Hold matching packets at the switch (used by the Split/Merge baseline)."""
+        return cls(ActionType.BUFFER)
+
+
+@dataclass
+class FlowRule:
+    """One flow-table entry."""
+
+    pattern: FlowPattern
+    actions: List[Action]
+    priority: int = 100
+    cookie: str = ""
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+    packets_matched: int = 0
+    bytes_matched: int = 0
+    installed_at: float = 0.0
+
+    def matches(self, packet: Packet) -> bool:
+        return self.pattern.matches(packet.flow_key())
+
+    def record(self, packet: Packet) -> None:
+        self.packets_matched += 1
+        self.bytes_matched += packet.wire_size
+
+
+class FlowTable:
+    """A prioritized rule list with longest-priority-first matching."""
+
+    def __init__(self) -> None:
+        self._rules: List[FlowRule] = []
+
+    def add(self, rule: FlowRule) -> FlowRule:
+        """Install *rule*, keeping the table ordered by descending priority.
+
+        Ties break toward the more specific pattern, then toward the most
+        recently installed rule (so a re-route of the same pattern wins).
+        """
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: (-r.priority, -r.pattern.specificity, -r.rule_id))
+        return rule
+
+    def remove(self, rule: FlowRule) -> bool:
+        """Remove a specific rule; returns False when it was not present."""
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            return False
+        return True
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Remove every rule with the given cookie; returns how many were removed."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.cookie != cookie]
+        return before - len(self._rules)
+
+    def remove_matching(self, pattern: FlowPattern) -> int:
+        """Remove every rule whose pattern equals *pattern*."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.pattern != pattern]
+        return before - len(self._rules)
+
+    def lookup(self, packet: Packet) -> Optional[FlowRule]:
+        """Return the matching rule with the highest priority, or None on a miss."""
+        for rule in self._rules:
+            if rule.matches(packet):
+                return rule
+        return None
+
+    def rules(self) -> List[FlowRule]:
+        """The installed rules in match order (a copy)."""
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: FlowRule) -> bool:
+        return rule in self._rules

@@ -1,0 +1,117 @@
+"""Links between network nodes, with propagation latency and bandwidth.
+
+A link connects one port on each of two nodes.  Transmitting a packet takes
+``latency + wire_size / bandwidth`` simulated seconds; packets sent in quick
+succession queue behind one another on the link (a simple store-and-forward
+serialisation model), which is what produces the queueing component of the
+per-packet latency measurements in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .packet import Packet
+from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from .topology import Node
+
+
+#: Default link latency (seconds) — 50 microseconds, a LAN-scale value.
+DEFAULT_LATENCY = 50e-6
+
+#: Default link bandwidth (bytes/second) — 1 Gbps, the paper's testbed NICs.
+DEFAULT_BANDWIDTH = 125_000_000.0
+
+
+@dataclass
+class LinkStats:
+    """Counters kept per link end."""
+
+    packets: int = 0
+    bytes: int = 0
+    drops: int = 0
+
+
+class Link:
+    """A bidirectional point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        port_a: int,
+        node_b: "Node",
+        port_b: int,
+        *,
+        latency: float = DEFAULT_LATENCY,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_a = node_a
+        self.port_a = port_a
+        self.node_b = node_b
+        self.port_b = port_b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.name = name or f"{node_a.name}:{port_a}<->{node_b.name}:{port_b}"
+        self.up = True
+        self.stats_a_to_b = LinkStats()
+        self.stats_b_to_a = LinkStats()
+        # Earliest time each direction's transmitter is free (serialisation queue).
+        self._free_at = {node_a.name: 0.0, node_b.name: 0.0}
+
+    # -- endpoint helpers -------------------------------------------------------
+
+    def other_end(self, node: "Node") -> "Node":
+        """The node on the opposite end from *node*."""
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise ValueError(f"{node.name} is not attached to link {self.name}")
+
+    def port_on(self, node: "Node") -> int:
+        """The port number this link occupies on *node*."""
+        if node is self.node_a:
+            return self.port_a
+        if node is self.node_b:
+            return self.port_b
+        raise ValueError(f"{node.name} is not attached to link {self.name}")
+
+    def _stats_from(self, node: "Node") -> LinkStats:
+        return self.stats_a_to_b if node is self.node_a else self.stats_b_to_a
+
+    # -- transmission -----------------------------------------------------------
+
+    def transmit(self, packet: Packet, sender: "Node") -> float:
+        """Send *packet* from *sender* toward the other end.
+
+        Returns the simulated delivery time.  A downed link drops the packet
+        (delivery time is returned as ``-1``).
+        """
+        stats = self._stats_from(sender)
+        if not self.up:
+            stats.drops += 1
+            return -1.0
+        receiver = self.other_end(sender)
+        in_port = self.port_on(receiver)
+        serialization = packet.wire_size / self.bandwidth if self.bandwidth else 0.0
+        start = max(self.sim.now, self._free_at[sender.name])
+        finish = start + serialization
+        self._free_at[sender.name] = finish
+        delivery_time = finish + self.latency
+        stats.packets += 1
+        stats.bytes += packet.wire_size
+        self.sim.schedule_at(delivery_time, receiver.receive, packet, in_port)
+        return delivery_time
+
+    def set_up(self, up: bool) -> None:
+        """Bring the link up or down (downed links silently drop traffic)."""
+        self.up = up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} latency={self.latency} bw={self.bandwidth}>"

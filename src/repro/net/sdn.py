@@ -1,0 +1,196 @@
+"""SDN controller for the network substrate.
+
+The OpenMB control applications coordinate middlebox state operations with
+routing changes.  :class:`SDNController` provides the routing half: it
+computes paths over the :class:`~repro.net.topology.Topology` graph (optionally
+through middlebox waypoints) and installs prioritized flow rules on every
+switch along the path.
+
+Rule installation is not instantaneous: each switch applies the rule after a
+configurable installation latency, which is exactly what creates the windows
+in which packets are still delivered to the *old* middlebox after a control
+application has requested a re-route — the races OpenMB's re-process events
+are designed to absorb.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import NetworkError
+from ..core.flowspace import FlowPattern
+from .flowtable import Action, FlowRule
+from .packet import Packet
+from .simulator import Future, Simulator
+from .switch import Switch
+from .topology import Node, Topology
+
+#: Time for a switch to apply a newly pushed flow rule (seconds).
+DEFAULT_RULE_INSTALL_LATENCY = 2e-3
+
+_route_ids = itertools.count(1)
+
+
+@dataclass
+class RouteHandle:
+    """Bookkeeping for one installed route (one pattern along one path)."""
+
+    route_id: int
+    cookie: str
+    pattern: FlowPattern
+    path: List[str]
+    rules: List[FlowRule] = field(default_factory=list)
+    installed: Optional[Future] = None
+
+
+class SDNController:
+    """Computes paths and programs switches."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        rule_install_latency: float = DEFAULT_RULE_INSTALL_LATENCY,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rule_install_latency = rule_install_latency
+        self.routes: Dict[int, RouteHandle] = {}
+        self.packet_ins: List[Packet] = []
+        self.rules_installed = 0
+        self.routing_updates = 0
+        for node in topology.nodes.values():
+            if isinstance(node, Switch):
+                node.set_packet_in_handler(self._on_packet_in)
+
+    # -- packet-in handling -------------------------------------------------------
+
+    def adopt_switch(self, switch: Switch) -> None:
+        """Register a switch added to the topology after the controller was built."""
+        switch.set_packet_in_handler(self._on_packet_in)
+
+    def _on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        self.packet_ins.append(packet)
+
+    # -- route installation ----------------------------------------------------------
+
+    def install_route(
+        self,
+        pattern: FlowPattern,
+        path: Sequence[Node | str],
+        *,
+        priority: int = 100,
+        bidirectional: bool = False,
+    ) -> RouteHandle:
+        """Install forwarding rules for *pattern* along *path*.
+
+        *path* is an ordered list of node names (or nodes) beginning at the
+        ingress node and ending at the egress node; rules are installed on the
+        switches in between so matching packets follow the path.  Returns a
+        handle whose ``installed`` future completes once every switch has
+        applied its rule.
+        """
+        names = [node.name if isinstance(node, Node) else node for node in path]
+        if len(names) < 2:
+            raise NetworkError("a route needs at least two nodes")
+        route_id = next(_route_ids)
+        cookie = f"route-{route_id}"
+        handle = RouteHandle(route_id=route_id, cookie=cookie, pattern=pattern, path=list(names))
+        pending: List[Future] = []
+        for previous, current, following in self._hops(names):
+            node = self.topology.get(current)
+            if not isinstance(node, Switch):
+                continue
+            out_port = node.port_to(self.topology.get(following)) if following else None
+            if out_port is None:
+                raise NetworkError(f"{current} has no port toward {following}")
+            rule = FlowRule(
+                pattern=pattern,
+                actions=[Action.output(out_port)],
+                priority=priority,
+                cookie=cookie,
+            )
+            pending.append(self._push_rule(node, rule))
+            handle.rules.append(rule)
+        if bidirectional:
+            reverse = self.install_route(
+                self._reverse_pattern(pattern), list(reversed(names)), priority=priority
+            )
+            handle.rules.extend(reverse.rules)
+            if reverse.installed is not None:
+                pending.append(reverse.installed)
+        from .simulator import all_of
+
+        handle.installed = all_of(self.sim, pending)
+        self.routes[route_id] = handle
+        self.routing_updates += 1
+        return handle
+
+    @staticmethod
+    def _hops(names: List[str]):
+        """(previous, current, next) triples for every node that must forward."""
+        triples = []
+        for index, current in enumerate(names[:-1]):
+            previous = names[index - 1] if index > 0 else None
+            following = names[index + 1]
+            triples.append((previous, current, following))
+        return triples
+
+    def _push_rule(self, switch: Switch, rule: FlowRule) -> Future:
+        """Push *rule* to *switch*; it takes effect after the install latency."""
+        future = self.sim.event(name=f"install@{switch.name}")
+
+        def apply_rule() -> None:
+            switch.install_rule(rule)
+            self.rules_installed += 1
+            future.succeed(rule)
+
+        self.sim.schedule(self.rule_install_latency, apply_rule)
+        return future
+
+    def remove_route(self, handle: RouteHandle) -> None:
+        """Remove every rule installed for *handle* (takes effect after install latency)."""
+
+        def remove() -> None:
+            for node in handle.path:
+                topo_node = self.topology.get(node)
+                if isinstance(topo_node, Switch):
+                    topo_node.remove_rules_by_cookie(handle.cookie)
+
+        self.sim.schedule(self.rule_install_latency, remove)
+        self.routes.pop(handle.route_id, None)
+
+    # -- higher-level routing used by control applications -----------------------------
+
+    def route(
+        self,
+        pattern: FlowPattern,
+        ingress: Node | str,
+        egress: Node | str,
+        waypoints: Sequence[Node | str] = (),
+        *,
+        priority: int = 100,
+        bidirectional: bool = False,
+    ) -> RouteHandle:
+        """Route flows matching *pattern* from *ingress* to *egress* via *waypoints*.
+
+        This is the ``route(k, r)`` call of the paper's Figure 4: the control
+        application names the flows (the pattern) and the new route (here, the
+        middlebox waypoints), and the SDN controller programs the switches.
+        """
+        path = self.topology.path_through(ingress, list(waypoints), egress)
+        return self.install_route(pattern, path, priority=priority, bidirectional=bidirectional)
+
+    @staticmethod
+    def _reverse_pattern(pattern: FlowPattern) -> FlowPattern:
+        fields = pattern.as_dict()
+        return FlowPattern(
+            nw_proto=fields.get("nw_proto"),
+            nw_src=fields.get("nw_dst"),
+            nw_dst=fields.get("nw_src"),
+            tp_src=fields.get("tp_dst"),
+            tp_dst=fields.get("tp_src"),
+        )

@@ -1,0 +1,259 @@
+"""Discrete-event simulation kernel.
+
+Every component of the reproduction — switches, links, middleboxes, the MB
+controller, control applications, traffic replay — runs on a single simulated
+clock provided by :class:`Simulator`.  The kernel supplies:
+
+* time-ordered callback scheduling (:meth:`Simulator.schedule`);
+* :class:`Future` — a one-shot completion token with callbacks, used for
+  operation handles returned by the northbound API;
+* generator-based processes (:meth:`Simulator.process`) so control
+  applications can be written as straight-line sequences of steps that
+  ``yield`` the futures or delays they wait on.
+
+The simulated clock is what makes the paper's race conditions reproducible:
+packets in flight when a routing update lands, re-process events racing puts,
+and quiescence timers all happen at explicit simulated times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+
+class Future:
+    """A one-shot completion token tied to a simulator.
+
+    A future is *pending* until :meth:`succeed` or :meth:`fail` is called
+    exactly once; callbacks registered with :meth:`add_done_callback` run at
+    the simulated time of completion.
+    """
+
+    __slots__ = ("sim", "_done", "_result", "_exception", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """Result of the future; raises the stored exception for failed futures."""
+        if not self._done:
+            raise SimulationError(f"future {self.name or id(self)} is not complete")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, result: Any = None) -> None:
+        """Complete the future successfully."""
+        self._finish(result, None)
+
+    def fail(self, exception: BaseException) -> None:
+        """Complete the future with an exception."""
+        self._finish(None, exception)
+
+    def _finish(self, result: Any, exception: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError(f"future {self.name or id(self)} completed twice")
+        self._done = True
+        self._result = result
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Register *callback*; it runs immediately if the future is already done."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Future {self.name or hex(id(self))} {state}>"
+
+
+def all_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
+    """Return a future that completes when every future in *futures* is done.
+
+    The result is the list of individual results in input order; the first
+    failure fails the combined future.
+    """
+    futures = list(futures)
+    combined = Future(sim, name="all_of")
+    if not futures:
+        combined.succeed([])
+        return combined
+    remaining = {"count": len(futures)}
+
+    def on_done(_future: Future) -> None:
+        if combined.done:
+            return
+        if _future.exception is not None:
+            combined.fail(_future.exception)
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            combined.succeed([future._result for future in futures])
+
+    for future in futures:
+        future.add_done_callback(on_done)
+    return combined
+
+
+class _Process:
+    """Driver for a generator-based simulation process.
+
+    The generator may yield:
+
+    * a ``float``/``int`` — sleep for that many simulated seconds;
+    * a :class:`Future` — wait for it; the future's result is sent back in;
+    * a list/tuple of futures — wait for all of them;
+    * ``None`` — continue on the next scheduling round (yield to other events).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.future = Future(sim, name=name or getattr(generator, "__name__", "process"))
+        sim.schedule(0.0, self._step, None, None)
+
+    def _step(self, value: Any, exception: Optional[BaseException]) -> None:
+        try:
+            if exception is not None:
+                yielded = self.generator.throw(exception)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.future.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate process failure to waiters
+            self.future.fail(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim.schedule(0.0, self._step, None, None)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._step, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_done_callback(self._on_future)
+        elif isinstance(yielded, (list, tuple)):
+            all_of(self.sim, yielded).add_done_callback(self._on_future)
+        else:
+            self._step(None, SimulationError(f"process yielded unsupported value {yielded!r}"))
+
+    def _on_future(self, future: Future) -> None:
+        # Resume on the simulator queue so process steps never nest inside the
+        # completion of another component's callback.
+        if future.exception is not None:
+            self.sim.schedule(0.0, self._step, None, future.exception)
+        else:
+            self.sim.schedule(0.0, self._step, future._result, None)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._sequence = itertools.count()
+        #: Number of callbacks executed so far (useful for determinism checks).
+        self.executed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` *delay* simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule into the past (time={time}, now={self._now})")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback, args))
+
+    def event(self, name: str = "") -> Future:
+        """Create a pending future bound to this simulator."""
+        return Future(self, name=name)
+
+    def timeout(self, delay: float, result: Any = None) -> Future:
+        """Return a future that completes after *delay* simulated seconds."""
+        future = Future(self, name=f"timeout({delay})")
+        self.schedule(delay, future.succeed, result)
+        return future
+
+    def process(self, generator: Generator, name: str = "") -> Future:
+        """Spawn a generator-based process; returns a future for its return value."""
+        return _Process(self, generator, name=name).future
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time order.
+
+        With ``until`` set, execution stops once the next event would occur
+        after that time (the clock is advanced to ``until``).  Without it, the
+        simulator runs until the event queue is empty.  Returns the final
+        simulated time.
+        """
+        while self._queue:
+            time, _, callback, args = self._queue[0]
+            if until is not None and time > until:
+                self._now = max(self._now, until)
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            self.executed_events += 1
+            callback(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until(self, future: Future, limit: float = 1e9) -> Any:
+        """Run until *future* completes (or *limit* simulated seconds elapse).
+
+        Returns the future's result; raises if the future failed or never
+        completed within the limit.
+        """
+        while self._queue and not future.done:
+            time, _, callback, args = heapq.heappop(self._queue)
+            if time > limit:
+                raise SimulationError(f"future did not complete before t={limit}")
+            self._now = time
+            self.executed_events += 1
+            callback(*args)
+        if not future.done:
+            raise SimulationError("event queue drained before the future completed")
+        return future.result
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,178 @@
+"""Trace records: the workload representation used throughout the evaluation.
+
+A :class:`Trace` is an ordered list of :class:`TraceRecord` entries, each of
+which describes one packet (timestamp, five-tuple, flags, payload).  Traces
+are produced by the generators in :mod:`repro.traffic.generators` (our
+synthetic stand-ins for the paper's captured enterprise, data-center, and
+high-redundancy traces) and consumed by :mod:`repro.traffic.replay`, which
+turns records back into packets on the simulated network.
+
+Traces can be saved to and loaded from JSON-lines files so benchmark workloads
+are reproducible artifacts rather than in-memory accidents.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.flowspace import PROTO_TCP, FlowKey
+from ..net.packet import Packet
+
+
+@dataclass
+class TraceRecord:
+    """One packet in a trace."""
+
+    time: float
+    nw_src: str
+    nw_dst: str
+    tp_src: int
+    tp_dst: int
+    nw_proto: int = PROTO_TCP
+    payload: bytes = b""
+    flags: List[str] = field(default_factory=list)
+    seq: int = 0
+
+    def flow_key(self) -> FlowKey:
+        return FlowKey(self.nw_proto, self.nw_src, self.nw_dst, self.tp_src, self.tp_dst)
+
+    def to_packet(self) -> Packet:
+        """Materialise the record as a packet (created_at is set at injection time)."""
+        return Packet(
+            nw_src=self.nw_src,
+            nw_dst=self.nw_dst,
+            nw_proto=self.nw_proto,
+            tp_src=self.tp_src,
+            tp_dst=self.tp_dst,
+            payload=self.payload,
+            flags=frozenset(self.flags),
+            seq=self.seq,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time": self.time,
+                "nw_src": self.nw_src,
+                "nw_dst": self.nw_dst,
+                "tp_src": self.tp_src,
+                "tp_dst": self.tp_dst,
+                "nw_proto": self.nw_proto,
+                "payload": base64.b64encode(self.payload).decode("ascii"),
+                "flags": list(self.flags),
+                "seq": self.seq,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecord":
+        data = json.loads(text)
+        return cls(
+            time=float(data["time"]),
+            nw_src=data["nw_src"],
+            nw_dst=data["nw_dst"],
+            tp_src=int(data["tp_src"]),
+            tp_dst=int(data["tp_dst"]),
+            nw_proto=int(data.get("nw_proto", PROTO_TCP)),
+            payload=base64.b64decode(data.get("payload", "")),
+            flags=list(data.get("flags", [])),
+            seq=int(data.get("seq", 0)),
+        )
+
+
+@dataclass
+class Trace:
+    """An ordered packet trace plus free-form metadata."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.records.sort(key=lambda record: record.time)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Time between the first and last packet (0.0 for empty traces)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    def total_bytes(self) -> int:
+        return sum(len(record.payload) for record in self.records)
+
+    def flows(self) -> List[FlowKey]:
+        """Distinct bidirectional flows in the trace, in first-seen order."""
+        seen: Dict[FlowKey, None] = {}
+        for record in self.records:
+            seen.setdefault(record.flow_key().bidirectional(), None)
+        return list(seen)
+
+    def flow_count(self) -> int:
+        return len(self.flows())
+
+    def filter(self, predicate) -> "Trace":
+        """A new trace containing only the records for which *predicate* is true."""
+        return Trace(records=[record for record in self.records if predicate(record)], metadata=dict(self.metadata))
+
+    def merged_with(self, other: "Trace") -> "Trace":
+        """A new trace interleaving this trace and *other* by timestamp."""
+        return Trace(records=list(self.records) + list(other.records), metadata=dict(self.metadata))
+
+    def time_shifted(self, offset: float) -> "Trace":
+        """A copy of the trace with every timestamp shifted by *offset* seconds."""
+        shifted = [
+            TraceRecord(
+                time=record.time + offset,
+                nw_src=record.nw_src,
+                nw_dst=record.nw_dst,
+                tp_src=record.tp_src,
+                tp_dst=record.tp_dst,
+                nw_proto=record.nw_proto,
+                payload=record.payload,
+                flags=list(record.flags),
+                seq=record.seq,
+            )
+            for record in self.records
+        ]
+        return Trace(records=shifted, metadata=dict(self.metadata))
+
+    # -- persistence ----------------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON lines (first line: metadata)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"metadata": self.metadata}) + "\n")
+            for record in self.records:
+                handle.write(record.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        path = Path(path)
+        records: List[TraceRecord] = []
+        metadata: Dict[str, object] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            first = handle.readline()
+            if first:
+                header = json.loads(first)
+                metadata = dict(header.get("metadata", {}))
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(TraceRecord.from_json(line))
+        return cls(records=records, metadata=metadata)
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord], **metadata: object) -> "Trace":
+        return cls(records=list(records), metadata=dict(metadata))

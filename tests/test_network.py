@@ -1,0 +1,346 @@
+"""Unit tests for links, topology, switches, SDN controller, and monitoring probes."""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.core.flowspace import FlowPattern
+from repro.net import (
+    Action,
+    DeliveryRecorder,
+    FlowRule,
+    LatencyProbe,
+    SDNController,
+    Simulator,
+    Switch,
+    Topology,
+    tcp_packet,
+)
+from repro.net.addresses import SubnetAllocator, mac_for_index, same_subnet
+from repro.net.links import Link
+from repro.net.topology import Host, Node
+
+
+class _Sink(Node):
+    """A node that records what it receives."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append((packet, in_port, self.sim.now))
+
+
+class TestAddresses:
+    def test_allocator_hands_out_consecutive_hosts(self):
+        allocator = SubnetAllocator("10.1.1.0/24")
+        assert allocator.allocate() == "10.1.1.1"
+        assert allocator.allocate() == "10.1.1.2"
+        assert allocator.contains("10.1.1.77")
+        assert not allocator.contains("10.1.2.1")
+
+    def test_allocator_exhaustion(self):
+        allocator = SubnetAllocator("10.1.1.0/30")
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(ValueError):
+            allocator.allocate()
+
+    def test_allocate_many(self):
+        allocator = SubnetAllocator("10.2.0.0/16")
+        assert len(allocator.allocate_many(5)) == 5
+
+    def test_mac_for_index_is_deterministic_and_local(self):
+        assert mac_for_index(5) == mac_for_index(5)
+        assert mac_for_index(5).startswith("02:")
+        assert mac_for_index(5) != mac_for_index(6)
+
+    def test_same_subnet(self):
+        assert same_subnet("10.1.1.4", "10.1.1.200", 24)
+        assert not same_subnet("10.1.1.4", "10.1.2.4", 24)
+
+
+class TestLink:
+    def test_delivery_after_latency_and_serialisation(self):
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 1, b, 1, latency=1e-3, bandwidth=1e6)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        packet = tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, b"x" * 946)  # 1000 bytes on the wire
+        delivery = link.transmit(packet, a)
+        assert delivery == pytest.approx(1e-3 + 1000 / 1e6)
+        sim.run()
+        assert len(b.received) == 1 and b.received[0][1] == 1
+
+    def test_back_to_back_packets_queue(self):
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 1, b, 1, latency=0.0, bandwidth=1000.0)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        p1 = tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, b"x" * 446)  # 500 B -> 0.5 s
+        p2 = tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, b"x" * 446)
+        first = link.transmit(p1, a)
+        second = link.transmit(p2, a)
+        assert second == pytest.approx(first + 0.5)
+
+    def test_down_link_drops(self):
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 1, b, 1)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        link.set_up(False)
+        assert link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2), a) == -1.0
+        sim.run()
+        assert b.received == []
+        assert link.stats_a_to_b.drops == 1
+
+    def test_other_end_and_port_on(self):
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 3, b, 7)
+        assert link.other_end(a) is b
+        assert link.port_on(b) == 7
+        with pytest.raises(ValueError):
+            link.other_end(_Sink(sim, "c"))
+
+
+class TestTopology:
+    def test_connect_assigns_ports_and_builds_graph(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "10.0.0.2")
+        sw = topo.add_node(Switch(sim, "s1"))
+        topo.connect(h1, sw)
+        topo.connect(sw, h2)
+        assert h1.port_to(sw) == 1
+        assert sw.port_to(h2) == 2
+        assert topo.shortest_path(h1, h2) == ["h1", "s1", "h2"]
+
+    def test_duplicate_node_name_rejected(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_host("h1", "10.0.0.1")
+        with pytest.raises(NetworkError):
+            topo.add_host("h1", "10.0.0.2")
+
+    def test_unknown_node_rejected(self):
+        topo = Topology(Simulator())
+        with pytest.raises(NetworkError):
+            topo.get("ghost")
+
+    def test_path_through_waypoints(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "10.0.0.2")
+        s1, s2 = topo.add_node(Switch(sim, "s1")), topo.add_node(Switch(sim, "s2"))
+        mb = topo.add_host("mb", "0.0.0.0")
+        topo.connect(h1, s1)
+        topo.connect(s1, s2)
+        topo.connect(s1, mb)
+        topo.connect(mb, s2)
+        topo.connect(s2, h2)
+        assert topo.path_through(h1, ["mb"], h2) == ["h1", "s1", "mb", "s2", "h2"]
+
+    def test_no_path_raises(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_host("h1", "10.0.0.1")
+        topo.add_host("h2", "10.0.0.2")
+        with pytest.raises(NetworkError):
+            topo.shortest_path("h1", "h2")
+
+    def test_host_by_ip(self):
+        topo = Topology(Simulator())
+        host = topo.add_host("h1", "10.0.0.1")
+        assert topo.host_by_ip("10.0.0.1") is host
+        with pytest.raises(NetworkError):
+            topo.host_by_ip("10.9.9.9")
+
+    def test_link_between(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "10.0.0.2")
+        topo.connect(h1, h2)
+        assert topo.link_between(h1, h2) is topo.links[0]
+
+
+class TestSwitch:
+    def _wire(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "192.0.2.1")
+        sw = topo.add_node(Switch(sim, "s1"))
+        topo.connect(h1, sw)
+        topo.connect(sw, h2)
+        return sim, topo, h1, h2, sw
+
+    def test_forwards_matching_packets(self):
+        sim, topo, h1, h2, sw = self._wire()
+        sw.install_rule(FlowRule(FlowPattern(nw_dst="192.0.2.0/24"), [Action.output(sw.port_to(h2))]))
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert len(h2.received) == 1
+        assert sw.stats.packets_forwarded == 1
+
+    def test_table_miss_uses_default_drop(self):
+        sim, topo, h1, h2, sw = self._wire()
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert h2.received == []
+        assert sw.stats.table_misses == 1
+        assert sw.stats.packets_dropped == 1
+
+    def test_never_reflects_out_ingress_port(self):
+        sim, topo, h1, h2, sw = self._wire()
+        sw.install_rule(FlowRule(FlowPattern.wildcard(), [Action.output(sw.port_to(h1))]))
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert h1.received == []
+        assert sw.stats.packets_dropped == 1
+
+    def test_controller_action_invokes_packet_in(self):
+        sim, topo, h1, h2, sw = self._wire()
+        seen = []
+        sw.set_packet_in_handler(lambda switch, packet, port: seen.append((switch.name, port)))
+        sw.install_rule(FlowRule(FlowPattern.wildcard(), [Action.to_controller()]))
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert seen == [("s1", sw.port_to(h1))]
+
+    def test_buffer_and_release_pattern(self):
+        sim, topo, h1, h2, sw = self._wire()
+        pattern = FlowPattern(nw_dst="192.0.2.0/24")
+        sw.install_rule(FlowRule(pattern, [Action.output(sw.port_to(h2))]))
+        sw.buffer_pattern(pattern)
+        for _ in range(3):
+            h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run(until=0.1)
+        assert h2.received == []
+        assert sw.buffered_count(pattern) == 3
+        released = sw.release_pattern(pattern)
+        sim.run()
+        assert len(released) == 3
+        assert all(duration >= 0 for _, duration in released)
+        assert len(h2.received) == 3
+
+
+class TestSDNController:
+    def _scenario(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "192.0.2.1")
+        s1 = topo.add_node(Switch(sim, "s1"))
+        s2 = topo.add_node(Switch(sim, "s2"))
+        mb = topo.add_host("mb", "0.0.0.1")
+        topo.connect(h1, s1)
+        topo.connect(s1, s2)
+        topo.connect(s1, mb)
+        topo.connect(mb, s2)
+        topo.connect(s2, h2)
+        sdn = SDNController(sim, topo)
+        return sim, topo, sdn, h1, h2, s1, s2, mb
+
+    def test_install_route_programs_switches(self):
+        sim, topo, sdn, h1, h2, s1, s2, mb = self._scenario()
+        handle = sdn.route(FlowPattern(nw_dst="192.0.2.0/24"), h1, h2)
+        sim.run_until(handle.installed)
+        assert len(s1.table) == 1 and len(s2.table) == 1
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert len(h2.received) == 1
+
+    def test_route_through_waypoint(self):
+        sim, topo, sdn, h1, h2, s1, s2, mb = self._scenario()
+        handle = sdn.route(FlowPattern(nw_dst="192.0.2.0/24"), h1, h2, waypoints=["mb"])
+        sim.run_until(handle.installed)
+        rule = s1.table.rules()[0]
+        assert rule.actions[0].port == s1.port_to(mb)
+
+    def test_rules_take_effect_after_install_latency(self):
+        sim, topo, sdn, h1, h2, s1, s2, mb = self._scenario()
+        sdn.route(FlowPattern.wildcard(), h1, h2)
+        # Before the install latency elapses, the switch still misses.
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run(until=sdn.rule_install_latency / 2)
+        assert len(s1.table) == 0
+        sim.run()
+        assert len(s1.table) == 1
+
+    def test_remove_route(self):
+        sim, topo, sdn, h1, h2, s1, s2, mb = self._scenario()
+        handle = sdn.route(FlowPattern.wildcard(), h1, h2)
+        sim.run_until(handle.installed)
+        sdn.remove_route(handle)
+        sim.run()
+        assert len(s1.table) == 0 and len(s2.table) == 0
+
+    def test_route_requires_connected_path(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "10.0.0.2")
+        sdn = SDNController(sim, topo)
+        with pytest.raises(NetworkError):
+            sdn.route(FlowPattern.wildcard(), h1, h2)
+
+    def test_install_route_needs_two_nodes(self):
+        sim, topo, sdn, h1, *_ = self._scenario()
+        with pytest.raises(NetworkError):
+            sdn.install_route(FlowPattern.wildcard(), [h1])
+
+    def test_bidirectional_route(self):
+        sim, topo, sdn, h1, h2, s1, s2, mb = self._scenario()
+        handle = sdn.route(FlowPattern(nw_dst="192.0.2.0/24"), h1, h2, bidirectional=True)
+        sim.run_until(handle.installed)
+        h2.send(tcp_packet("192.0.2.1", "10.0.0.5", 80, 1))
+        sim.run()
+        assert len(h1.received) == 1
+
+
+class TestMonitoringProbes:
+    def test_latency_probe_records_deliveries(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "192.0.2.1")
+        topo.connect(h1, h2, latency=2e-3)
+        probe = LatencyProbe(sim, h2)
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert probe.count == 1
+        assert probe.mean_latency() >= 2e-3
+        assert probe.max_latency() >= probe.mean_latency()
+
+    def test_latency_probe_pattern_filter(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "192.0.2.1")
+        topo.connect(h1, h2)
+        probe = LatencyProbe(sim, h2, FlowPattern(tp_dst=443))
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run()
+        assert probe.count == 0
+
+    def test_delivery_recorder_buckets_by_pattern(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        h2 = topo.add_host("h2", "192.0.2.1")
+        topo.connect(h1, h2)
+        recorder = DeliveryRecorder(h2, {"http": FlowPattern(tp_dst=80), "ssh": FlowPattern(tp_dst=22)})
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 443))
+        sim.run()
+        assert recorder.counts["http"] == 1
+        assert recorder.counts["ssh"] == 0
+        assert recorder.unmatched == 1
+        assert recorder.total() == 2

@@ -1,0 +1,242 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.net.simulator import Future, Simulator, all_of
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, order.append, 1)
+        sim.schedule(0.1, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "late")
+        sim.run(until=0.5)
+        assert fired == []
+        assert sim.now == 0.5
+        assert sim.pending_events == 1
+
+    def test_run_with_no_events_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_cannot_schedule_into_the_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(0.5, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [1.0, 1.5]
+
+    def test_executed_event_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.executed_events == 5
+
+
+class TestFuture:
+    def test_succeed_and_result(self):
+        sim = Simulator()
+        future = sim.event()
+        future.succeed(42)
+        assert future.done and future.result == 42
+
+    def test_result_before_completion_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().result
+
+    def test_double_completion_rejected(self):
+        sim = Simulator()
+        future = sim.event()
+        future.succeed(1)
+        with pytest.raises(SimulationError):
+            future.succeed(2)
+
+    def test_fail_propagates_exception(self):
+        sim = Simulator()
+        future = sim.event()
+        future.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            _ = future.result
+
+    def test_callback_after_completion_runs_immediately(self):
+        sim = Simulator()
+        future = sim.event()
+        future.succeed("x")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result))
+        assert seen == ["x"]
+
+    def test_timeout_future(self):
+        sim = Simulator()
+        future = sim.timeout(2.0, result="done")
+        sim.run()
+        assert future.result == "done"
+        assert sim.now == 2.0
+
+    def test_all_of_collects_results_in_order(self):
+        sim = Simulator()
+        futures = [sim.timeout(0.3, "c"), sim.timeout(0.1, "a"), sim.timeout(0.2, "b")]
+        combined = all_of(sim, futures)
+        sim.run()
+        assert combined.result == ["c", "a", "b"]
+
+    def test_all_of_empty_completes_immediately(self):
+        sim = Simulator()
+        assert all_of(sim, []).result == []
+
+    def test_all_of_fails_on_first_failure(self):
+        sim = Simulator()
+        good = sim.timeout(0.1)
+        bad = sim.event()
+        combined = all_of(sim, [good, bad])
+        bad.fail(RuntimeError("nope"))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            _ = combined.result
+
+    def test_run_until_returns_future_result(self):
+        sim = Simulator()
+        future = sim.timeout(1.5, "value")
+        assert sim.run_until(future) == "value"
+
+    def test_run_until_raises_if_queue_drains(self):
+        sim = Simulator()
+        pending = sim.event()
+        with pytest.raises(SimulationError):
+            sim.run_until(pending)
+
+
+class TestProcesses:
+    def test_process_with_delays(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield 1.0
+            times.append(sim.now)
+            yield 0.5
+            times.append(sim.now)
+            return "finished"
+
+        future = sim.process(body())
+        sim.run()
+        assert times == [0.0, 1.0, 1.5]
+        assert future.result == "finished"
+
+    def test_process_waits_on_future_and_receives_result(self):
+        sim = Simulator()
+        received = []
+
+        def body():
+            value = yield sim.timeout(0.5, result=99)
+            received.append(value)
+
+        sim.process(body())
+        sim.run()
+        assert received == [99]
+
+    def test_process_waits_on_list_of_futures(self):
+        sim = Simulator()
+        results = []
+
+        def body():
+            values = yield [sim.timeout(0.2, "a"), sim.timeout(0.1, "b")]
+            results.append(values)
+
+        sim.process(body())
+        sim.run()
+        assert results == [["a", "b"]]
+
+    def test_process_exception_fails_its_future(self):
+        sim = Simulator()
+
+        def body():
+            yield 0.1
+            raise RuntimeError("process error")
+
+        future = sim.process(body())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            _ = future.result
+
+    def test_failed_awaited_future_raises_inside_process(self):
+        sim = Simulator()
+        failing = sim.event()
+        caught = []
+
+        def body():
+            try:
+                yield failing
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(body())
+        sim.schedule(0.1, failing.fail, ValueError("inner"))
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_yield_none_resumes_soon(self):
+        sim = Simulator()
+        steps = []
+
+        def body():
+            steps.append("first")
+            yield None
+            steps.append("second")
+
+        sim.process(body())
+        sim.run()
+        assert steps == ["first", "second"]
+
+    def test_unsupported_yield_value_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield "not a future"
+
+        future = sim.process(body())
+        sim.run()
+        assert future.exception is not None

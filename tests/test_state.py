@@ -1,0 +1,185 @@
+"""Unit tests for the state taxonomy and state stores."""
+
+import pytest
+
+from repro.core.errors import GranularityError, StateError
+from repro.core.flowspace import FlowKey, FlowPattern
+from repro.core.state import (
+    AccessMode,
+    PerFlowStateStore,
+    SharedStateSlot,
+    StateRole,
+    StateScope,
+    TAXONOMY,
+    state_class,
+)
+
+
+def key(i: int, src_subnet: str = "10.0.0") -> FlowKey:
+    return FlowKey(6, f"{src_subnet}.{i + 1}", "192.0.2.10", 1000 + i, 80)
+
+
+class TestTaxonomy:
+    def test_table1_has_five_classes(self):
+        assert len(TAXONOMY) == 5
+
+    def test_configuration_is_shared_and_read_only(self):
+        cls = state_class(StateRole.CONFIGURING, StateScope.SHARED)
+        assert cls.mb_access is AccessMode.READ
+        assert not cls.movable
+        assert not cls.cloneable
+
+    def test_supporting_state_read_write(self):
+        cls = state_class(StateRole.SUPPORTING, StateScope.PER_FLOW)
+        assert cls.mb_access is AccessMode.READ_WRITE
+        assert cls.movable and cls.cloneable
+
+    def test_reporting_state_write_only(self):
+        cls = state_class(StateRole.REPORTING, StateScope.PER_FLOW)
+        assert cls.mb_access is AccessMode.WRITE
+
+    def test_shared_reporting_not_cloneable(self):
+        """Cloning shared reporting state would double-report (section 4.1.3)."""
+        cls = state_class(StateRole.REPORTING, StateScope.SHARED)
+        assert cls.movable
+        assert not cls.cloneable
+
+    def test_no_per_flow_configuration_class(self):
+        with pytest.raises(StateError):
+            state_class(StateRole.CONFIGURING, StateScope.PER_FLOW)
+
+
+class TestPerFlowStateStore:
+    def test_put_get_remove(self):
+        store = PerFlowStateStore()
+        store.put(key(0), "value")
+        assert store.get(key(0)) == "value"
+        assert len(store) == 1
+        assert store.remove(key(0)) == "value"
+        assert store.get(key(0)) is None
+
+    def test_bidirectional_lookup(self):
+        store = PerFlowStateStore()
+        store.put(key(0), "value")
+        assert store.get(key(0).reversed()) == "value"
+        assert key(0).reversed() in store
+
+    def test_unidirectional_mode(self):
+        store = PerFlowStateStore(bidirectional=False)
+        store.put(key(0), "value")
+        assert store.get(key(0).reversed()) is None
+
+    def test_get_or_create(self):
+        store = PerFlowStateStore()
+        created = store.get_or_create(key(1), lambda: {"n": 0})
+        created["n"] = 5
+        assert store.get_or_create(key(1), lambda: {"n": 0})["n"] == 5
+
+    def test_query_by_pattern(self):
+        store = PerFlowStateStore()
+        for i in range(10):
+            store.put(key(i, "10.0.0" if i < 6 else "10.0.9"), i)
+        matches = store.query(FlowPattern(nw_src="10.0.0.0/24"))
+        assert len(matches) == 6
+
+    def test_query_wildcard_returns_all(self):
+        store = PerFlowStateStore()
+        for i in range(5):
+            store.put(key(i), i)
+        assert len(store.query(FlowPattern.wildcard())) == 5
+
+    def test_query_matches_reverse_direction(self):
+        store = PerFlowStateStore()
+        store.put(key(0), "v")
+        matches = store.query(FlowPattern(nw_src="192.0.2.0/24"))
+        assert len(matches) == 1
+
+    def test_granularity_violation_raises(self):
+        """Requests finer than the MB's granularity must error (section 4.1.2)."""
+        store = PerFlowStateStore(granularity=("nw_proto", "nw_src", "tp_src"))
+        store.put(key(0), "v")
+        with pytest.raises(GranularityError):
+            store.query(FlowPattern(nw_dst="192.0.2.10"))
+
+    def test_coarser_than_granularity_is_allowed(self):
+        store = PerFlowStateStore(granularity=("nw_proto", "nw_src", "tp_src"))
+        store.put(key(0), "v")
+        assert len(store.query(FlowPattern(nw_src="10.0.0.0/24"))) == 1
+
+    def test_remove_matching(self):
+        store = PerFlowStateStore()
+        for i in range(10):
+            store.put(key(i, "10.0.0" if i % 2 == 0 else "10.0.9"), i)
+        removed = store.remove_matching(FlowPattern(nw_src="10.0.0.0/24"))
+        assert len(removed) == 5
+        assert len(store) == 5
+
+    def test_count_matching(self):
+        store = PerFlowStateStore()
+        for i in range(8):
+            store.put(key(i), i)
+        assert store.count_matching(FlowPattern(nw_dst="192.0.2.10")) == 8
+
+    def test_linear_scan_counts_steps(self):
+        store = PerFlowStateStore()
+        for i in range(20):
+            store.put(key(i), i)
+        store.scan_steps = 0
+        store.query(FlowPattern(nw_src="10.0.0.1"))
+        assert store.scan_steps == 20
+
+    def test_indexed_store_scans_fewer_entries(self):
+        indexed = PerFlowStateStore(indexed=True)
+        for i in range(50):
+            indexed.put(key(i), i)
+        indexed.scan_steps = 0
+        matches = indexed.query(FlowPattern(nw_src="10.0.0.5"))
+        assert len(matches) == 1
+        assert indexed.scan_steps < 50
+
+    def test_indexed_store_falls_back_for_prefix_queries(self):
+        indexed = PerFlowStateStore(indexed=True)
+        for i in range(10):
+            indexed.put(key(i), i)
+        assert len(indexed.query(FlowPattern(nw_src="10.0.0.0/24"))) == 10
+
+    def test_clear(self):
+        store = PerFlowStateStore()
+        store.put(key(0), 1)
+        store.clear()
+        assert len(store) == 0
+
+    def test_keys_and_items(self):
+        store = PerFlowStateStore()
+        store.put(key(0), "a")
+        store.put(key(1), "b")
+        assert len(store.keys()) == 2
+        assert dict(store.items())[key(0).bidirectional()] == "a"
+
+
+class TestSharedStateSlot:
+    def test_replace(self):
+        slot = SharedStateSlot({"count": 1})
+        slot.replace({"count": 5})
+        assert slot.value == {"count": 5}
+
+    def test_merge_with_hook(self):
+        slot = SharedStateSlot({"count": 1}, merge=lambda a, b: {"count": a["count"] + b["count"]})
+        slot.merge_in({"count": 4})
+        assert slot.value == {"count": 5}
+        assert slot.merge_count == 1
+
+    def test_merge_without_hook_replaces(self):
+        slot = SharedStateSlot({"count": 1})
+        slot.merge_in({"count": 9})
+        assert slot.value == {"count": 9}
+
+    def test_clone_value_with_hook(self):
+        slot = SharedStateSlot({"items": [1, 2]}, clone=lambda value: {"items": list(value["items"])})
+        cloned = slot.clone_value()
+        cloned["items"].append(3)
+        assert slot.value == {"items": [1, 2]}
+
+    def test_clone_value_default_returns_same_object(self):
+        slot = SharedStateSlot({"x": 1})
+        assert slot.clone_value() is slot.value
