@@ -5,10 +5,13 @@ from .failover import FailureRecoveryApp
 from .migration import PerFlowMigrationApp, REMigrationApp
 from .scaling import RebalanceApp, ScaleDownApp, ScaleUpApp
 from .scenarios import (
+    GUARANTEE_SCENARIOS,
+    GuaranteeScenarioResult,
     REMigrationScenario,
     TwoInstanceScenario,
     build_re_migration_scenario,
     build_two_instance_scenario,
+    run_guarantee_scenario,
 )
 
 __all__ = [
@@ -22,6 +25,9 @@ __all__ = [
     "ScaleUpApp",
     "REMigrationScenario",
     "TwoInstanceScenario",
+    "GUARANTEE_SCENARIOS",
+    "GuaranteeScenarioResult",
     "build_re_migration_scenario",
     "build_two_instance_scenario",
+    "run_guarantee_scenario",
 ]

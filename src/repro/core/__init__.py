@@ -32,6 +32,7 @@ from .state import (
     state_class,
 )
 from .stats import ControllerStats
+from .transfer import TransferGuarantee, TransferSpec
 
 __all__ = [
     "ControlChannel",
@@ -60,6 +61,8 @@ __all__ = [
     "StateScope",
     "state_class",
     "ControllerStats",
+    "TransferGuarantee",
+    "TransferSpec",
     "OpenMBError",
     "StateError",
     "GranularityError",

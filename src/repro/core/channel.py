@@ -56,6 +56,9 @@ class ControlChannel:
         self.to_controller = ChannelStats()
         self._controller_handler: Optional[Callable[[Message], None]] = None
         self._mb_handler: Optional[Callable[[Message], None]] = None
+        #: True once the controller side was explicitly detached (unregister):
+        #: middlebox->controller messages are then dropped instead of raising.
+        self._controller_detached = False
         # Serialisation points: each direction delivers messages in order.
         self._mb_free_at = 0.0
         self._controller_free_at = 0.0
@@ -65,6 +68,17 @@ class ControlChannel:
     def bind_controller(self, handler: Callable[[Message], None]) -> None:
         """Register the controller-side message handler."""
         self._controller_handler = handler
+        self._controller_detached = False
+
+    def unbind_controller(self) -> None:
+        """Detach the controller side (the middlebox was unregistered).
+
+        Subsequent middlebox->controller messages — late replies, lingering
+        events from a terminated instance — are silently dropped instead of
+        being dispatched through a stale binding.
+        """
+        self._controller_handler = None
+        self._controller_detached = True
 
     def bind_middlebox(self, handler: Callable[[Message], None]) -> None:
         """Register the middlebox-side message handler."""
@@ -81,6 +95,8 @@ class ControlChannel:
     def send_to_controller(self, message: Message) -> float:
         """Send a message from the middlebox to the controller; returns delivery time."""
         if self._controller_handler is None:
+            if self._controller_detached:
+                return self.sim.now  # unregistered middlebox: drop silently
             raise RuntimeError(f"channel {self.name} has no controller handler bound")
         return self._send(message, self.to_controller, self._controller_handler, "_controller_free_at")
 

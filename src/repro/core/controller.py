@@ -37,6 +37,7 @@ from .operations import (
 )
 from .southbound import MiddleboxInterface, SouthboundAgent
 from .stats import ControllerStats
+from .transfer import TransferSpec
 
 
 @dataclass
@@ -112,9 +113,32 @@ class MBController:
         return channel
 
     def unregister(self, name: str) -> None:
-        """Remove a middlebox (e.g. after scale-down terminates the instance)."""
-        self._registrations.pop(name, None)
+        """Remove a middlebox (e.g. after scale-down terminates the instance).
+
+        Drops the registration, any in-flight reply routing for the removed
+        middlebox, and the channel's controller binding, so late replies and
+        events from the terminated instance are discarded instead of being
+        dispatched through stale handlers.
+        """
+        registration = self._registrations.pop(name, None)
+        # Operations still transferring state through the removed middlebox can
+        # never finish (their replies are about to be discarded): fail them now
+        # rather than leaving their futures pending forever.  Operations that
+        # already completed are left to finalise; they tolerate a missing
+        # middlebox (the post-quiescence delete/transfer-end catches it).
+        for operations in list(self._active_by_src.values()):
+            for operation in list(operations):
+                if name in (operation.src, operation.dst) and not operation.handle.completed.done:
+                    operation._fail(
+                        UnknownMiddleboxError(
+                            f"middlebox {name!r} was unregistered during {operation.record.type.value}"
+                        )
+                    )
         self._active_by_src.pop(name, None)
+        for key in [key for key in self._reply_handlers if key[0] == name]:
+            del self._reply_handlers[key]
+        if registration is not None:
+            registration.channel.unbind_controller()
 
     def middlebox_names(self) -> List[str]:
         return sorted(self._registrations)
@@ -153,6 +177,19 @@ class MBController:
         registration.channel.send_to_middlebox(message)
         return message.xid
 
+    def try_send(self, mb_name: str, message: Message, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
+        """Like :meth:`send`, but tolerate an unregistered middlebox.
+
+        Returns False (instead of raising) when *mb_name* is no longer
+        registered — the idiom for post-quiescence and cleanup messages whose
+        target may have been terminated (e.g. scale-down) in the meantime.
+        """
+        try:
+            self.send(mb_name, message, on_reply=on_reply)
+        except UnknownMiddleboxError:
+            return False
+        return True
+
     def _receive(self, mb_name: str, message: Message) -> None:
         """Entry point for every message arriving from a middlebox."""
         self.stats.messages_received += 1
@@ -185,16 +222,19 @@ class MBController:
         """Register an application callback for introspection events."""
         self._event_subscribers.append(callback)
 
-    def forward_event(self, dst_mb: str, event: Event) -> bool:
+    def forward_event(self, dst_mb: str, event: Event, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
         """Replay *event*'s packet at *dst_mb*, at most once per (event, destination).
 
         Returns True when the re-process message was actually sent.
+        ``on_reply`` routes the destination's ACK back to the caller
+        (order-preserving transfers wait for replay ACKs before releasing a
+        flow's packet hold).
         """
         token = (event.event_id, dst_mb)
         if token in self._forwarded_events:
             return False
         self._forwarded_events.add(token)
-        self.send(dst_mb, messages.reprocess_message(dst_mb, event))
+        self.send(dst_mb, messages.reprocess_message(dst_mb, event), on_reply=on_reply)
         return True
 
     # -- simple northbound operations --------------------------------------------------------------------
@@ -298,25 +338,32 @@ class MBController:
 
     # -- stateful northbound operations --------------------------------------------------------------------
 
-    def move_internal(self, src: str, dst: str, pattern: FlowPattern) -> OperationHandle:
-        """moveInternal: move per-flow supporting and reporting state from src to dst."""
+    def move_internal(
+        self, src: str, dst: str, pattern: FlowPattern, spec: Optional[TransferSpec] = None
+    ) -> OperationHandle:
+        """moveInternal: move per-flow supporting and reporting state from src to dst.
+
+        *spec* selects the transfer guarantee (no-guarantee / loss-free /
+        order-preserving) and pipeline optimizations (parallelism, batching,
+        early release); None keeps the seed's loss-free pipelined default.
+        """
         self._registration(src)
         self._registration(dst)
-        operation = MoveOperation(self, src, dst, pattern)
+        operation = MoveOperation(self, src, dst, pattern, spec)
         return self._start(operation)
 
-    def clone_support(self, src: str, dst: str) -> OperationHandle:
+    def clone_support(self, src: str, dst: str, spec: Optional[TransferSpec] = None) -> OperationHandle:
         """cloneSupport: clone shared supporting state from src to dst."""
         self._registration(src)
         self._registration(dst)
-        operation = CloneOperation(self, src, dst)
+        operation = CloneOperation(self, src, dst, spec=spec)
         return self._start(operation)
 
-    def merge_internal(self, src: str, dst: str) -> OperationHandle:
+    def merge_internal(self, src: str, dst: str, spec: Optional[TransferSpec] = None) -> OperationHandle:
         """mergeInternal: merge shared supporting and reporting state of src into dst."""
         self._registration(src)
         self._registration(dst)
-        operation = MergeOperation(self, src, dst)
+        operation = MergeOperation(self, src, dst, spec=spec)
         return self._start(operation)
 
     def _start(self, operation: _StatefulOperation) -> OperationHandle:
@@ -335,6 +382,20 @@ class MBController:
         active = self._active_by_src.get(operation.src, [])
         if operation in active:
             active.remove(operation)
+        # Prune the operation's replay-dedup tokens so _forwarded_events stays
+        # bounded.  A concurrent operation with the same destination may still
+        # be holding the same event in its buffer (it forwards only when its
+        # flow is ACKed), so tokens for a destination that another active
+        # operation targets are inherited by that operation instead of being
+        # dropped — they are pruned when it finishes.
+        still_active = [op for ops in self._active_by_src.values() for op in ops]
+        for token in operation._forward_tokens:
+            heir = next((op for op in still_active if op.dst == token[1]), None)
+            if heir is not None:
+                heir._forward_tokens.add(token)
+            else:
+                self._forwarded_events.discard(token)
+        operation._forward_tokens.clear()
         self.stats.archive(operation.record)
 
     # -- convenience ---------------------------------------------------------------------------------------

@@ -32,7 +32,9 @@ class MessageType:
     DEL_CONFIG = "del_config"
     GET_PERFLOW = "get_perflow"
     PUT_PERFLOW = "put_perflow"
+    PUT_PERFLOW_BATCH = "put_perflow_batch"
     DEL_PERFLOW = "del_perflow"
+    TRANSFER_RELEASE = "transfer_release"
     GET_SHARED = "get_shared"
     PUT_SHARED = "put_shared"
     GET_STATS = "get_stats"
@@ -60,7 +62,9 @@ ACKED_REQUESTS = frozenset(
         MessageType.SET_CONFIG,
         MessageType.DEL_CONFIG,
         MessageType.PUT_PERFLOW,
+        MessageType.PUT_PERFLOW_BATCH,
         MessageType.DEL_PERFLOW,
+        MessageType.TRANSFER_RELEASE,
         MessageType.PUT_SHARED,
         MessageType.REPROCESS_PACKET,
         MessageType.TRANSFER_END,
@@ -192,8 +196,43 @@ def get_perflow(mb: str, role: StateRole, pattern: FlowPattern, *, transfer: boo
     )
 
 
-def put_perflow(mb: str, chunk: StateChunk) -> Message:
-    return Message(MessageType.PUT_PERFLOW, mb=mb, body={"chunk": encode_chunk(chunk)})
+def put_perflow(mb: str, chunk: StateChunk, *, hold: bool = False) -> Message:
+    """Install one per-flow chunk; ``hold=True`` (order-preserving transfers)
+    makes the destination queue fresh packets for the flow until its
+    TRANSFER_RELEASE arrives."""
+    body: Dict[str, Any] = {"chunk": encode_chunk(chunk)}
+    if hold:
+        body["hold"] = True
+    return Message(MessageType.PUT_PERFLOW, mb=mb, body=body)
+
+
+def put_perflow_batch(mb: str, chunks: list, *, hold: bool = False) -> Message:
+    """Install several per-flow chunks with a single message and a single ACK.
+
+    Batching amortises the controller's per-message handling cost across
+    ``len(chunks)`` chunks — the bulk-transfer optimization of the
+    :class:`~repro.core.transfer.TransferSpec` pipeline.
+    """
+    body: Dict[str, Any] = {"chunks": [encode_chunk(chunk) for chunk in chunks]}
+    if hold:
+        body["hold"] = True
+    return Message(MessageType.PUT_PERFLOW_BATCH, mb=mb, body=body)
+
+
+def transfer_release(mb: str, keys: list) -> Message:
+    """Release per-flow transfer involvement for *keys* at a middlebox.
+
+    At a move destination this lifts the order-preserving hold (queued packets
+    are processed in arrival order); at a source it clears the per-flow
+    transfer marker so the flow stops raising re-process events
+    (the early-release optimization).  Unlike TRANSFER_END this is per-flow,
+    not whole-middlebox.
+    """
+    return Message(
+        MessageType.TRANSFER_RELEASE,
+        mb=mb,
+        body={"keys": [key.as_dict() for key in keys]},
+    )
 
 
 def del_perflow(mb: str, role: StateRole, pattern: FlowPattern) -> Message:

@@ -19,8 +19,15 @@ from .controller import MBController
 from .events import Event
 from .flowspace import FlowPattern
 from .operations import OperationHandle
+from .transfer import TransferGuarantee, TransferSpec
 
 PatternLike = Union[FlowPattern, Dict[str, object], List[str], str, None]
+
+#: Values accepted for the ``spec`` argument of the stateful operations: a
+#: :class:`TransferSpec`, a :class:`TransferGuarantee` (or its string value,
+#: e.g. ``"order_preserving"``), a mapping of TransferSpec fields, or None for
+#: the seed-equivalent default (loss-free, pipelined per-chunk puts).
+SpecLike = Union[TransferSpec, TransferGuarantee, str, Dict[str, object], None]
 
 
 def _as_pattern(pattern: PatternLike) -> FlowPattern:
@@ -84,17 +91,29 @@ class NorthboundAPI:
 
     # -- stateful operations ------------------------------------------------------------
 
-    def move_internal(self, src_mb: str, dst_mb: str, header_fields: PatternLike = None) -> OperationHandle:
-        """``moveInternal(SrcMB, DstMB, HeaderFieldList)``."""
-        return self.controller.move_internal(src_mb, dst_mb, _as_pattern(header_fields))
+    def move_internal(
+        self, src_mb: str, dst_mb: str, header_fields: PatternLike = None, spec: SpecLike = None
+    ) -> OperationHandle:
+        """``moveInternal(SrcMB, DstMB, HeaderFieldList[, TransferSpec])``.
 
-    def clone_support(self, src_mb: str, dst_mb: str) -> OperationHandle:
-        """``cloneSupport(SrcMB, DstMB)``."""
-        return self.controller.clone_support(src_mb, dst_mb)
+        ``spec`` tunes the transfer: guarantee ``no_guarantee`` /
+        ``loss_free`` / ``order_preserving`` plus the pipeline optimizations
+        ``parallelism`` (put window; 0 = unbounded, 1 = sequential),
+        ``batch_size`` (chunks per PUT_PERFLOW_BATCH), and ``early_release``
+        (per-flow TRANSFER_RELEASE at the source once a flow is moved).
+        Omitting it keeps the seed's behaviour (loss-free, pipelined puts).
+        """
+        return self.controller.move_internal(
+            src_mb, dst_mb, _as_pattern(header_fields), TransferSpec.parse(spec)
+        )
 
-    def merge_internal(self, src_mb: str, dst_mb: str) -> OperationHandle:
-        """``mergeInternal(SrcMB, DstMB)``."""
-        return self.controller.merge_internal(src_mb, dst_mb)
+    def clone_support(self, src_mb: str, dst_mb: str, spec: SpecLike = None) -> OperationHandle:
+        """``cloneSupport(SrcMB, DstMB[, TransferSpec])``."""
+        return self.controller.clone_support(src_mb, dst_mb, TransferSpec.parse(spec))
+
+    def merge_internal(self, src_mb: str, dst_mb: str, spec: SpecLike = None) -> OperationHandle:
+        """``mergeInternal(SrcMB, DstMB[, TransferSpec])``."""
+        return self.controller.merge_internal(src_mb, dst_mb, TransferSpec.parse(spec))
 
     def end_transfer(self, src_mb: str) -> Future:
         """Tell *src_mb* that a clone/merge transfer has completed.

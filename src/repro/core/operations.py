@@ -2,15 +2,32 @@
 
 The controller (paper section 5) turns each northbound call into a sequence of
 southbound requests.  The sequencing logic for the three stateful operations —
-``moveInternal``, ``cloneSupport``, and ``mergeInternal`` — lives here as
-explicit state machines driven by the messages the middleboxes send back:
+``moveInternal``, ``cloneSupport``, and ``mergeInternal`` — lives here.
+
+Since the transfer-strategy refactor each stateful operation is composed from
+two pluggable pieces parameterised by a
+:class:`~repro.core.transfer.TransferSpec`:
+
+* a **chunk pipeline** (:class:`ChunkPipeline`) that ships streamed state
+  chunks to the destination — sequentially (window of 1), pipelined (bounded
+  or unbounded window), or batched (many chunks per ``PUT_PERFLOW_BATCH``
+  message with a single ACK);
+* a **guarantee policy** (:class:`GuaranteePolicy` subclasses) that decides
+  what happens to the re-process events raised while the transfer is in
+  flight — dropped (``NO_GUARANTEE``), buffered per flow until the
+  destination ACKs that flow's state and then replayed (``LOSS_FREE``, the
+  paper's Figure 5), or replayed in order behind a destination-side per-flow
+  packet hold that is lifted with ``TRANSFER_RELEASE`` (``ORDER_PRESERVING``).
+
+``TransferSpec.default()`` reproduces the seed's original single flavor:
+loss-free with puts issued as chunks stream in.
 
 * **move** (Figure 5): issue per-flow supporting and reporting gets at the
-  source; for every chunk streamed back issue a put at the destination; buffer
-  re-process events for a flow until that flow's put is ACKed, then forward
-  them; the operation *returns* when both gets have completed and every put is
-  ACKed; after a quiescence period with no further events, delete the moved
-  state at the source.
+  source; stream every chunk through the pipeline to the destination; apply
+  the guarantee policy to events; the operation *returns* when both gets have
+  completed, every put is ACKed, and the policy has drained (for
+  order-preserving: every moved flow released); after a quiescence period with
+  no further events, delete the moved state at the source.
 * **clone**: get shared supporting state at the source, put it at the
   destination; forward shared re-process events after the put is ACKed; after
   quiescence, tell the source the transfer ended (no delete).
@@ -22,15 +39,17 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..net.simulator import Future
 from . import messages
 from .events import Event
 from .flowspace import FlowKey, FlowPattern
 from .messages import Message, MessageType
-from .state import StateRole
+from .state import StateChunk, StateRole
+from .transfer import TransferGuarantee, TransferSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from .controller import MBController
@@ -66,8 +85,16 @@ class OperationRecord:
     events_received: int = 0
     events_buffered: int = 0
     events_forwarded: int = 0
+    events_dropped: int = 0
     puts_acked: int = 0
+    batches_sent: int = 0
+    releases_sent: int = 0
     deleted_chunks: int = 0
+    #: TransferSpec parameters the operation ran with.
+    guarantee: str = TransferGuarantee.LOSS_FREE.value
+    parallelism: int = 0
+    batch_size: int = 1
+    early_release: bool = False
 
     @property
     def duration(self) -> Optional[float]:
@@ -81,8 +108,9 @@ class OperationHandle:
     """What a control application gets back from a stateful northbound call.
 
     ``completed`` resolves when the operation returns in the paper's sense
-    (all puts ACKed); ``finalized`` resolves after the post-quiescence step
-    (delete at the source for moves, transfer-end for clone/merge).
+    (all puts ACKed, and — for order-preserving transfers — every moved flow
+    released); ``finalized`` resolves after the post-quiescence step (delete
+    at the source for moves, transfer-end for clone/merge).
     """
 
     def __init__(self, sim, record: OperationRecord) -> None:
@@ -106,12 +134,14 @@ class _StatefulOperation:
         src: str,
         dst: str,
         pattern: Optional[FlowPattern] = None,
+        spec: Optional[TransferSpec] = None,
     ) -> None:
         self.controller = controller
         self.sim = controller.sim
         self.src = src
         self.dst = dst
         self.pattern = pattern
+        self.spec = spec or TransferSpec.default()
         self.record = OperationRecord(
             op_id=next(_operation_ids),
             type=self.op_type,
@@ -119,11 +149,19 @@ class _StatefulOperation:
             dst=dst,
             pattern=pattern,
             started_at=self.sim.now,
+            guarantee=self.spec.guarantee.value,
+            parallelism=self.spec.parallelism,
+            batch_size=self.spec.batch_size,
+            early_release=self.spec.early_release,
         )
         self.handle = OperationHandle(self.sim, self.record)
         self._last_event_at = self.sim.now
         self._finalize_scheduled = False
         self._finalized = False
+        self._archived = False
+        #: (event id, destination) dedup tokens this operation added; pruned
+        #: from the controller when the operation finishes.
+        self._forward_tokens: Set[Tuple[int, str]] = set()
 
     # -- hooks implemented by subclasses -------------------------------------------
 
@@ -146,11 +184,29 @@ class _StatefulOperation:
         self._arm_quiescence()
 
     def _fail(self, exc: Exception) -> None:
+        # Cancel any scheduled quiescence finalisation so the operation cannot
+        # be archived a second time after failing.
+        self._finalized = True
         if not self.handle.completed.done:
             self.handle.completed.fail(exc)
         if not self.handle.finalized.done:
             self.handle.finalized.fail(exc)
+        self._finish()
+
+    def _finish(self) -> None:
+        """Hand the operation back to the controller exactly once."""
+        if self._archived:
+            return
+        self._archived = True
         self.controller._operation_finished(self)
+
+    def _forward(self, event: Event, on_reply=None) -> bool:
+        """Replay *event* at the destination; True when actually sent."""
+        if self.controller.forward_event(self.dst, event, on_reply=on_reply):
+            self.record.events_forwarded += 1
+            self._forward_tokens.add((event.event_id, self.dst))
+            return True
+        return False
 
     def _touch_event_clock(self) -> None:
         self._last_event_at = self.sim.now
@@ -181,7 +237,334 @@ class _StatefulOperation:
         self.record.finalized_at = self.sim.now
         if not self.handle.finalized.done:
             self.handle.finalized.succeed(self.record)
-        self.controller._operation_finished(self)
+        self._finish()
+
+
+# =========================================================================================
+# Chunk pipeline: how state chunks travel from the get stream to the destination
+# =========================================================================================
+
+
+class ChunkPipeline:
+    """Ships streamed per-flow chunks to a move's destination.
+
+    The pipeline enforces the :class:`TransferSpec` optimizations:
+
+    * ``parallelism`` bounds how many put/batch messages may be awaiting an
+      ACK (0 = unbounded, the seed's put-on-arrival behaviour; 1 = fully
+      sequential);
+    * ``batch_size`` packs several chunks into one ``PUT_PERFLOW_BATCH``
+      message, amortising the controller's per-message handling cost (one ACK
+      per batch instead of one per chunk).
+
+    When the last chunk of a flow is ACKed the pipeline notifies the
+    operation (``_flow_acked``), which lets the guarantee policy flush that
+    flow's buffered events.
+    """
+
+    def __init__(self, operation: "MoveOperation") -> None:
+        self.op = operation
+        self.spec = operation.spec
+        #: Chunks accepted but not yet put on the wire (window closed / batch filling).
+        self._queue: Deque[StateChunk] = deque()
+        #: Put/batch messages sent and not yet ACKed.
+        self._in_flight = 0
+        #: Canonical flow key -> chunks sent or queued but not yet ACKed.
+        self._pending_chunks: Dict[FlowKey, int] = {}
+        #: Flows whose chunks seen so far are all ACKed.
+        self._acked_flows: Set[FlowKey] = set()
+        #: Every flow that ever entered the pipeline (failure cleanup).
+        self._all_flows: Set[FlowKey] = set()
+        self._source_done = False
+
+    # -- feeding ---------------------------------------------------------------------
+
+    def add_chunk(self, chunk: StateChunk) -> None:
+        canonical = chunk.key.bidirectional()
+        if canonical in self._acked_flows:
+            # A flow's supporting and reporting chunks stream from two
+            # independent gets, so a second chunk can arrive after the first
+            # was already ACKed (and the flow's events flushed/released).
+            # Reopen the flow: the policy re-buffers its events until this
+            # chunk is ACKed too.
+            self._acked_flows.discard(canonical)
+            self.op._flow_reopened(canonical)
+        self._all_flows.add(canonical)
+        self._pending_chunks[canonical] = self._pending_chunks.get(canonical, 0) + 1
+        self._queue.append(chunk)
+        self._dispatch()
+
+    def source_done(self) -> None:
+        """The source's gets have completed; flush any partially filled batch."""
+        self._source_done = True
+        self._dispatch()
+
+    @property
+    def drained(self) -> bool:
+        """True once every accepted chunk has been put and ACKed."""
+        return (
+            self._source_done
+            and not self._queue
+            and self._in_flight == 0
+            and not self._pending_chunks
+        )
+
+    # -- dispatching ------------------------------------------------------------------
+
+    def _window_open(self) -> bool:
+        return self.spec.parallelism == 0 or self._in_flight < self.spec.parallelism
+
+    def _dispatch(self) -> None:
+        if self.op._archived:
+            return  # the operation failed; do not keep feeding the destination
+        hold = self.spec.holds_destination_flows
+        while self._queue and self._window_open():
+            if self.spec.batch_size > 1:
+                if len(self._queue) < self.spec.batch_size and not self._source_done:
+                    return  # wait for a full batch (or the end of the stream)
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.spec.batch_size, len(self._queue)))
+                ]
+                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold)
+                keys = tuple(chunk.key.bidirectional() for chunk in batch)
+                self.op.record.batches_sent += 1
+            else:
+                chunk = self._queue.popleft()
+                message = messages.put_perflow(self.op.dst, chunk, hold=hold)
+                keys = (chunk.key.bidirectional(),)
+            self._in_flight += 1
+            self.op.controller.send(
+                self.op.dst,
+                message,
+                on_reply=lambda reply, keys=keys: self._on_put_reply(reply, keys),
+            )
+
+    def _on_put_reply(self, message: Message, keys: Tuple[FlowKey, ...]) -> None:
+        if self.op._archived:
+            return  # late reply for a failed operation
+        if message.type == MessageType.ERROR:
+            from .errors import OperationError
+
+            self.op._fail(
+                OperationError(
+                    f"move failed at destination {self.op.dst}: {message.body.get('reason')}"
+                )
+            )
+            return
+        if message.type != MessageType.ACK:
+            return
+        self._in_flight -= 1
+        self.op.record.puts_acked += len(keys)
+        for canonical in keys:
+            remaining = self._pending_chunks.get(canonical, 0) - 1
+            if remaining <= 0:
+                self._pending_chunks.pop(canonical, None)
+                self._acked_flows.add(canonical)
+                self.op._flow_acked(canonical)
+            else:
+                self._pending_chunks[canonical] = remaining
+        self._dispatch()
+        self.op._check_complete()
+
+
+# =========================================================================================
+# Guarantee policies: what happens to in-transfer re-process events
+# =========================================================================================
+
+
+class GuaranteePolicy:
+    """Event-dissemination policy for one move operation."""
+
+    def __init__(self, operation: "MoveOperation") -> None:
+        self.op = operation
+
+    def on_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def on_flow_acked(self, canonical: FlowKey) -> None:
+        """The destination ACKed the last chunk of this flow's state."""
+
+    def on_flow_reopened(self, canonical: FlowKey) -> None:
+        """A new chunk arrived for a flow that was already ACKed."""
+
+    def on_transfer_drained(self) -> None:
+        """Gets complete and every put ACKed; flush whatever is still held."""
+
+    @property
+    def drained(self) -> bool:
+        """Completion gate beyond the chunk pipeline (e.g. releases ACKed)."""
+        return True
+
+
+class NoGuaranteePolicy(GuaranteePolicy):
+    """NO_GUARANTEE: in-transfer events are dropped; their updates may be lost."""
+
+    def on_event(self, event: Event) -> None:
+        self.op.record.events_dropped += 1
+
+
+class LossFreePolicy(GuaranteePolicy):
+    """LOSS_FREE (paper Figure 5): buffer per flow until the put is ACKed.
+
+    Forwarding earlier would let the replayed packet's updates be overwritten
+    when the chunk arrives, violating atomicity requirement (iii).  Honors the
+    ``buffer_events`` ablation switch: with buffering disabled events are
+    forwarded immediately (and may race the chunks).
+    """
+
+    def __init__(self, operation: "MoveOperation") -> None:
+        super().__init__(operation)
+        self._buffered: Dict[FlowKey, List[Event]] = {}
+
+    def _flow_is_acked(self, canonical: FlowKey) -> bool:
+        # The pipeline's acked set is the single source of truth: a flow drops
+        # out of it again when a late chunk (its other state role) reopens it,
+        # which automatically resumes buffering here.
+        return canonical in self.op.pipeline._acked_flows
+
+    def on_event(self, event: Event) -> None:
+        key = event.key.bidirectional() if event.key is not None else None
+        should_buffer = (
+            self.op.controller.config.buffer_events
+            and key is not None
+            and not self._flow_is_acked(key)
+            and not self.op.handle.completed.done
+        )
+        if should_buffer:
+            self.op.record.events_buffered += 1
+            self._buffered.setdefault(key, []).append(event)
+        else:
+            self.op._forward(event)
+
+    def on_flow_acked(self, canonical: FlowKey) -> None:
+        for event in self._buffered.pop(canonical, []):
+            self.op._forward(event)
+
+    def on_transfer_drained(self) -> None:
+        # Any events still buffered (their flow's chunk was ACKed in the
+        # meantime, or the flow produced no chunk at all) can now be replayed.
+        for canonical in list(self._buffered):
+            for event in self._buffered.pop(canonical, []):
+                self.op._forward(event)
+
+
+class OrderPreservingPolicy(LossFreePolicy):
+    """ORDER_PRESERVING: replay buffered events in order behind a packet hold.
+
+    Puts are sent with the *hold* flag, so the destination queues fresh
+    packets for a moved flow.  When the flow's state is ACKed the policy
+    replays its buffered events (each replay is ACKed by the destination),
+    then sends a per-flow ``TRANSFER_RELEASE``; only then does the destination
+    process the queued packets, in arrival order.  The operation completes
+    once every moved flow has been released.
+    """
+
+    def __init__(self, operation: "MoveOperation") -> None:
+        super().__init__(operation)
+        self._replays_pending: Dict[FlowKey, int] = {}
+        self._releasing: Set[FlowKey] = set()
+        self._released: Set[FlowKey] = set()
+        #: Flows re-held by a chunk that arrived after their release started.
+        self._reopened: Set[FlowKey] = set()
+
+    def on_event(self, event: Event) -> None:
+        key = event.key.bidirectional() if event.key is not None else None
+        if (
+            key is None
+            or not self.op.controller.config.buffer_events
+            or key in self._released
+            or self.op.handle.completed.done
+        ):
+            self.op._forward(event)
+            return
+        # Buffer until the flow is *released* (not merely ACKed): events that
+        # arrive while earlier replays are in flight must queue behind them.
+        self.op.record.events_buffered += 1
+        self._buffered.setdefault(key, []).append(event)
+
+    def on_flow_acked(self, canonical: FlowKey) -> None:
+        self._reopened.discard(canonical)
+        self._replay_then_release(canonical)
+
+    def on_flow_reopened(self, canonical: FlowKey) -> None:
+        # A later chunk re-installs the destination hold, so the flow needs a
+        # fresh release once that chunk is ACKed.
+        self._released.discard(canonical)
+        self._reopened.add(canonical)
+
+    def _replay_then_release(self, canonical: FlowKey) -> None:
+        if self.op._archived:
+            return  # the operation failed; the blanket cleanup release covers dst
+        buffered = self._buffered.pop(canonical, [])
+        sent = 0
+        for event in buffered:
+            if self.op._forward(
+                event, on_reply=lambda reply, c=canonical: self._on_replay_reply(c, reply)
+            ):
+                sent += 1
+        if sent:
+            self._replays_pending[canonical] = self._replays_pending.get(canonical, 0) + sent
+        elif canonical not in self._replays_pending:
+            self._send_release(canonical)
+
+    def _on_replay_reply(self, canonical: FlowKey, message: Message) -> None:
+        if self.op._archived or message.type not in (MessageType.ACK, MessageType.ERROR):
+            return
+        remaining = self._replays_pending.get(canonical, 0) - 1
+        if remaining > 0:
+            self._replays_pending[canonical] = remaining
+            return
+        self._replays_pending.pop(canonical, None)
+        if self._buffered.get(canonical):
+            # More events arrived while the replays were in flight; they must
+            # be applied before the hold is lifted.
+            self._replay_then_release(canonical)
+        else:
+            self._send_release(canonical)
+
+    def _send_release(self, canonical: FlowKey) -> None:
+        if self.op._archived or canonical in self._releasing or canonical in self._released:
+            return
+        self._releasing.add(canonical)
+        self.op.record.releases_sent += 1
+
+        def on_reply(message: Message) -> None:
+            if self.op._archived or message.type not in (MessageType.ACK, MessageType.ERROR):
+                return
+            self._releasing.discard(canonical)
+            if canonical in self._reopened:
+                # A later chunk re-held the flow while this release was in
+                # flight; keep it un-released so its re-ACK triggers a fresh
+                # replay + release cycle.
+                self.op._check_complete()
+                return
+            self._released.add(canonical)
+            # Events that arrived while the release was in flight race the
+            # released packets anyway; forward them immediately (loss-free).
+            for event in self._buffered.pop(canonical, []):
+                self.op._forward(event)
+            self.op._check_complete()
+
+        self.op.controller.send(
+            self.op.dst, messages.transfer_release(self.op.dst, [canonical]), on_reply=on_reply
+        )
+
+    @property
+    def drained(self) -> bool:
+        return not self._replays_pending and not self._releasing
+
+
+_POLICIES = {
+    TransferGuarantee.NO_GUARANTEE: NoGuaranteePolicy,
+    TransferGuarantee.LOSS_FREE: LossFreePolicy,
+    TransferGuarantee.ORDER_PRESERVING: OrderPreservingPolicy,
+}
+
+
+# =========================================================================================
+# The operations
+# =========================================================================================
 
 
 class MoveOperation(_StatefulOperation):
@@ -189,15 +572,19 @@ class MoveOperation(_StatefulOperation):
 
     op_type = OperationType.MOVE
 
-    def __init__(self, controller: "MBController", src: str, dst: str, pattern: FlowPattern) -> None:
-        super().__init__(controller, src, dst, pattern)
+    def __init__(
+        self,
+        controller: "MBController",
+        src: str,
+        dst: str,
+        pattern: FlowPattern,
+        spec: Optional[TransferSpec] = None,
+    ) -> None:
+        super().__init__(controller, src, dst, pattern, spec)
         self._gets_outstanding = 0
-        self._pending_put_keys: Dict[FlowKey, int] = {}
-        #: Flows whose put the destination has already ACKed; events for these
-        #: (and only these) may be forwarded immediately.
-        self._acked_keys: set = set()
-        self._buffered_events: Dict[FlowKey, List[Event]] = {}
         self._gets_complete = False
+        self.pipeline = ChunkPipeline(self)
+        self.policy: GuaranteePolicy = _POLICIES[self.spec.guarantee](self)
 
     # -- starting ---------------------------------------------------------------------
 
@@ -213,93 +600,73 @@ class MoveOperation(_StatefulOperation):
     # -- source-side replies ------------------------------------------------------------
 
     def _on_src_reply(self, message: Message) -> None:
+        if self._archived:
+            return  # late reply for a failed operation
         if message.type == MessageType.STATE_CHUNK:
             chunk = messages.decode_chunk(message.body["chunk"])
             self.record.chunks_transferred += 1
             self.record.bytes_transferred += chunk.size
-            key = chunk.key
-            self._pending_put_keys[key] = self._pending_put_keys.get(key, 0) + 1
-            self.controller.send(
-                self.dst,
-                messages.put_perflow(self.dst, chunk),
-                on_reply=lambda reply, key=key: self._on_put_reply(reply, key),
-            )
+            self.pipeline.add_chunk(chunk)
         elif message.type == MessageType.GET_COMPLETE:
             self._gets_outstanding -= 1
             if self._gets_outstanding == 0:
                 self._gets_complete = True
+                self.pipeline.source_done()
                 self._check_complete()
         elif message.type == MessageType.ERROR:
             from .errors import OperationError
 
             self._fail(OperationError(f"move failed at source {self.src}: {message.body.get('reason')}"))
 
-    def _on_put_reply(self, message: Message, key: FlowKey) -> None:
-        if message.type == MessageType.ERROR:
-            from .errors import OperationError
+    # -- failure cleanup -----------------------------------------------------------------
 
-            self._fail(OperationError(f"move failed at destination {self.dst}: {message.body.get('reason')}"))
-            return
-        if message.type != MessageType.ACK:
-            return
-        self.record.puts_acked += 1
-        remaining = self._pending_put_keys.get(key, 0) - 1
-        if remaining <= 0:
-            self._pending_put_keys.pop(key, None)
-            self._acked_keys.add(key.bidirectional())
-            self._flush_buffered(key)
-        else:
-            self._pending_put_keys[key] = remaining
-        self._check_complete()
+    def _fail(self, exc: Exception) -> None:
+        if not self._archived and self.spec.holds_destination_flows:
+            # Order-preserving puts installed per-flow packet holds at the
+            # destination; release every flow the pipeline touched so a failed
+            # move does not blackhole their traffic.  Releasing a flow that
+            # was never held (or already released) is a harmless no-op.
+            held = list(self.pipeline._all_flows)
+            if held and self.controller.try_send(self.dst, messages.transfer_release(self.dst, held)):
+                self.record.releases_sent += 1
+        super()._fail(exc)
+
+    # -- pipeline callbacks --------------------------------------------------------------
+
+    def _flow_reopened(self, canonical: FlowKey) -> None:
+        """A new chunk arrived for a flow whose earlier chunks were ACKed."""
+        self.policy.on_flow_reopened(canonical)
+
+    def _flow_acked(self, canonical: FlowKey) -> None:
+        """All chunks of this flow are installed at the destination."""
+        self.policy.on_flow_acked(canonical)
+        if self.spec.early_release:
+            # Clear the flow's transfer marker at the source right away so it
+            # stops raising re-process events (weaker than pure loss-free:
+            # updates hitting the source after this point are not replayed).
+            if self.controller.try_send(self.src, messages.transfer_release(self.src, [canonical])):
+                self.record.releases_sent += 1
 
     def _check_complete(self) -> None:
-        if self._gets_complete and not self._pending_put_keys:
-            # Any events still buffered (their chunk was streamed and ACKed in the
-            # meantime, or the flow produced no chunk at all) can now be replayed.
-            for key in list(self._buffered_events):
-                self._flush_buffered(key)
-            self._complete()
+        if self.handle.completed.done:
+            return
+        if not self._gets_complete or not self.pipeline.drained or not self.policy.drained:
+            return
+        self.policy.on_transfer_drained()
+        self._complete()
 
     # -- events ------------------------------------------------------------------------------
 
     def on_event(self, event: Event) -> None:
-        """Handle a re-process event raised by the source middlebox.
-
-        Events are buffered until the destination has ACKed the put for the
-        affected flow's state (paper Figure 5) — forwarding earlier would let
-        the replayed packet's updates be overwritten when the chunk arrives,
-        violating atomicity requirement (iii).
-        """
+        """Handle a re-process event raised by the source middlebox."""
         self.record.events_received += 1
         self._touch_event_clock()
-        key = event.key.bidirectional() if event.key is not None else None
-        should_buffer = (
-            self.controller.config.buffer_events
-            and key is not None
-            and key not in self._acked_keys
-            and not self.handle.completed.done
-        )
-        if should_buffer:
-            self.record.events_buffered += 1
-            self._buffered_events.setdefault(key, []).append(event)
-        else:
-            self._forward(event)
-
-    def _flush_buffered(self, key: FlowKey) -> None:
-        buffered = self._buffered_events.pop(key.bidirectional(), [])
-        for event in buffered:
-            self._forward(event)
-
-    def _forward(self, event: Event) -> None:
-        if self.controller.forward_event(self.dst, event):
-            self.record.events_forwarded += 1
+        self.policy.on_event(event)
 
     # -- finalisation ---------------------------------------------------------------------------
 
     def _finalize(self) -> None:
         """After quiescence: delete the moved state at the source."""
-        from .errors import UnknownMiddleboxError
-
         pending = {"count": 2}
 
         def on_delete_reply(message: Message) -> None:
@@ -312,27 +679,37 @@ class MoveOperation(_StatefulOperation):
                 self._mark_finalized()
 
         for role in (StateRole.SUPPORTING, StateRole.REPORTING):
-            try:
-                self.controller.send(
-                    self.src,
-                    messages.del_perflow(self.src, role, self.pattern),
-                    on_reply=on_delete_reply,
-                )
-            except UnknownMiddleboxError:
-                # The source was terminated (e.g. scale-down) before quiescence;
-                # there is nothing left to delete.
+            # The source may have been terminated (e.g. scale-down) before
+            # quiescence; there is nothing left to delete then.
+            if not self.controller.try_send(
+                self.src, messages.del_perflow(self.src, role, self.pattern), on_reply=on_delete_reply
+            ):
                 pending["count"] -= 1
         if pending["count"] == 0:
             self._mark_finalized()
 
 
 class CloneOperation(_StatefulOperation):
-    """cloneSupport: copy shared supporting state from source to destination."""
+    """cloneSupport: copy shared supporting state from source to destination.
+
+    Shared-state transfers move a single chunk, so the pipeline optimizations
+    do not apply; the :class:`TransferSpec` guarantee still selects the event
+    policy (NO_GUARANTEE drops events; LOSS_FREE buffers until the put is
+    ACKed; ORDER_PRESERVING degrades to loss-free because there is no per-flow
+    hold for shared state).
+    """
 
     op_type = OperationType.CLONE
 
-    def __init__(self, controller: "MBController", src: str, dst: str) -> None:
-        super().__init__(controller, src, dst, pattern=None)
+    def __init__(
+        self, controller: "MBController", src: str, dst: str, spec: Optional[TransferSpec] = None
+    ) -> None:
+        spec = spec or TransferSpec.default()
+        if spec.guarantee is TransferGuarantee.ORDER_PRESERVING:
+            # No per-flow hold exists for shared state, so the operation really
+            # runs loss-free; record it as such to keep per-guarantee stats honest.
+            spec = replace(spec, guarantee=TransferGuarantee.LOSS_FREE)
+        super().__init__(controller, src, dst, pattern=None, spec=spec)
         self._shared_put_pending = False
         self._buffered_events: List[Event] = []
 
@@ -350,6 +727,8 @@ class CloneOperation(_StatefulOperation):
             )
 
     def _on_src_reply(self, message: Message) -> None:
+        if self._archived:
+            return  # late reply for a failed operation
         if message.type == MessageType.SHARED_STATE:
             chunk = messages.decode_shared_chunk(message.body["chunk"])
             self.record.chunks_transferred += 1
@@ -367,6 +746,8 @@ class CloneOperation(_StatefulOperation):
             self._fail(OperationError(f"{self.op_type.value} failed at {self.src}: {message.body.get('reason')}"))
 
     def _on_put_reply(self, message: Message) -> None:
+        if self._archived:
+            return  # late reply for a failed operation
         if message.type == MessageType.ERROR:
             from .errors import OperationError
 
@@ -386,30 +767,26 @@ class CloneOperation(_StatefulOperation):
             self._complete()
 
     def on_event(self, event: Event) -> None:
-        """Buffer shared-state events until the destination has the cloned state installed."""
+        """Apply the spec's guarantee to shared-state events raised mid-transfer."""
         self.record.events_received += 1
         self._touch_event_clock()
+        if self.spec.guarantee is TransferGuarantee.NO_GUARANTEE:
+            self.record.events_dropped += 1
+            return
         if self.controller.config.buffer_events and not self.handle.completed.done:
             self.record.events_buffered += 1
             self._buffered_events.append(event)
         else:
             self._forward(event)
 
-    def _forward(self, event: Event) -> None:
-        if self.controller.forward_event(self.dst, event):
-            self.record.events_forwarded += 1
-
     def _finalize(self) -> None:
         """After quiescence: end the transfer at the source (no delete for clones)."""
-        from .errors import UnknownMiddleboxError
 
         def on_reply(message: Message) -> None:
             if message.type in (MessageType.ACK, MessageType.ERROR):
                 self._mark_finalized()
 
-        try:
-            self.controller.send(self.src, messages.transfer_end(self.src), on_reply=on_reply)
-        except UnknownMiddleboxError:
+        if not self.controller.try_send(self.src, messages.transfer_end(self.src), on_reply=on_reply):
             # The source was terminated before quiescence; nothing to notify.
             self._mark_finalized()
 
@@ -419,8 +796,10 @@ class MergeOperation(CloneOperation):
 
     op_type = OperationType.MERGE
 
-    def __init__(self, controller: "MBController", src: str, dst: str) -> None:
-        super().__init__(controller, src, dst)
+    def __init__(
+        self, controller: "MBController", src: str, dst: str, spec: Optional[TransferSpec] = None
+    ) -> None:
+        super().__init__(controller, src, dst, spec=spec)
         self._pending_put_count = 0
 
     @property

@@ -136,6 +136,23 @@ class MiddleboxInterface(abc.ABC):
     def end_transfer(self) -> None:
         """Clear transfer markers set by get operations (clone/merge completion)."""
 
+    def hold_flows(self, keys: List) -> None:
+        """Queue fresh packets for *keys* until :meth:`release_flows` is called.
+
+        Used by order-preserving transfers: the destination must not process
+        live packets for a moved flow until the controller has replayed the
+        flow's buffered events in order.  The default is a no-op so that
+        middleboxes without a data plane still accept order-preserving puts.
+        """
+
+    def release_flows(self, keys: List) -> None:
+        """End per-flow transfer involvement for *keys* (TRANSFER_RELEASE).
+
+        Lifts any packet hold installed by :meth:`hold_flows` (queued packets
+        are processed in arrival order) and clears the flows' transfer markers
+        so they stop raising re-process events.  Default: no-op.
+        """
+
     @abc.abstractmethod
     def reprocess(self, packet: Packet, *, shared: bool) -> None:
         """Re-process a replayed packet to update state, suppressing side effects."""
@@ -203,7 +220,9 @@ class SouthboundAgent:
             MessageType.DEL_CONFIG: self._handle_del_config,
             MessageType.GET_PERFLOW: self._handle_get_perflow,
             MessageType.PUT_PERFLOW: self._handle_put_perflow,
+            MessageType.PUT_PERFLOW_BATCH: self._handle_put_perflow_batch,
             MessageType.DEL_PERFLOW: self._handle_del_perflow,
+            MessageType.TRANSFER_RELEASE: self._handle_transfer_release,
             MessageType.GET_SHARED: self._handle_get_shared,
             MessageType.PUT_SHARED: self._handle_put_shared,
             MessageType.GET_STATS: self._handle_get_stats,
@@ -310,6 +329,7 @@ class SouthboundAgent:
 
     def _handle_put_perflow(self, message: Message) -> None:
         chunk = messages.decode_chunk(message.body["chunk"])
+        hold = bool(message.body.get("hold", False))
 
         def respond() -> None:
             try:
@@ -317,11 +337,39 @@ class SouthboundAgent:
             except OpenMBError as exc:
                 self._error(message, str(exc))
                 return
+            if hold:
+                self.middlebox.hold_flows([chunk.key])
             self.stats.chunks_received += 1
             self._ack(message, {"key": chunk.key.as_dict(), "role": chunk.role.value})
 
         start = max(self.sim.now, self._import_free_at)
         finish = start + self.middlebox.costs.put_per_chunk
+        self._import_free_at = finish
+        self.sim.schedule_at(finish, respond)
+
+    def _handle_put_perflow_batch(self, message: Message) -> None:
+        chunks = [messages.decode_chunk(body) for body in message.body.get("chunks", [])]
+        hold = bool(message.body.get("hold", False))
+
+        def respond() -> None:
+            installed = 0
+            try:
+                for chunk in chunks:
+                    self.middlebox.put_perflow(chunk)
+                    installed += 1
+            except OpenMBError as exc:
+                self.stats.chunks_received += installed
+                self._error(message, str(exc))
+                return
+            if hold:
+                self.middlebox.hold_flows([chunk.key for chunk in chunks])
+            self.stats.chunks_received += len(chunks)
+            self._ack(message, {"count": len(chunks)})
+
+        # Importing a batch occupies the single import thread for the sum of the
+        # per-chunk costs, but produces a single ACK.
+        start = max(self.sim.now, self._import_free_at)
+        finish = start + self.middlebox.costs.put_per_chunk * max(1, len(chunks))
         self._import_free_at = finish
         self.sim.schedule_at(finish, respond)
 
@@ -424,6 +472,13 @@ class SouthboundAgent:
     def _handle_transfer_end(self, message: Message) -> None:
         self.middlebox.end_transfer()
         self._ack(message)
+
+    def _handle_transfer_release(self, message: Message) -> None:
+        from .flowspace import FlowKey
+
+        keys = [FlowKey.from_dict(body) for body in message.body.get("keys", [])]
+        self.middlebox.release_flows(keys)
+        self._ack(message, {"count": len(keys)})
 
     def _handle_reprocess(self, message: Message) -> None:
         packet = messages.decode_packet(message.body["packet"]) if "packet" in message.body else None

@@ -24,6 +24,7 @@ class ControllerStats:
     events_received: int = 0
     events_forwarded: int = 0
     events_buffered: int = 0
+    events_dropped: int = 0
     introspection_events: int = 0
     operations_started: int = 0
     operations_completed: int = 0
@@ -36,11 +37,42 @@ class ControllerStats:
         self.operations_completed += 1
         self.events_buffered += record.events_buffered
         self.events_forwarded += record.events_forwarded
+        self.events_dropped += record.events_dropped
 
     # -- queries used by benchmarks and reports --------------------------------------
 
     def records_of_type(self, op_type: OperationType) -> List[OperationRecord]:
         return [record for record in self.records if record.type is op_type]
+
+    def records_of_guarantee(self, guarantee: str) -> List[OperationRecord]:
+        """Archived operations that ran under the given transfer guarantee."""
+        return [record for record in self.records if record.guarantee == guarantee]
+
+    def by_guarantee(self) -> Dict[str, Dict[str, float]]:
+        """Per-guarantee aggregates: operation count, mean duration, event fate."""
+        summary: Dict[str, Dict[str, float]] = {}
+        completed: Dict[str, int] = {}
+        for record in self.records:
+            bucket = summary.setdefault(
+                record.guarantee,
+                {
+                    "operations": 0,
+                    "mean_duration": 0.0,
+                    "events_buffered": 0,
+                    "events_forwarded": 0,
+                    "events_dropped": 0,
+                },
+            )
+            bucket["operations"] += 1
+            bucket["events_buffered"] += record.events_buffered
+            bucket["events_forwarded"] += record.events_forwarded
+            bucket["events_dropped"] += record.events_dropped
+            if record.duration is not None:
+                bucket["mean_duration"] += record.duration
+                completed[record.guarantee] = completed.get(record.guarantee, 0) + 1
+        for guarantee, count in completed.items():
+            summary[guarantee]["mean_duration"] /= count
+        return summary
 
     def mean_duration(self, op_type: Optional[OperationType] = None) -> float:
         """Mean completion time of archived operations (seconds), 0.0 when none."""
@@ -70,6 +102,7 @@ class ControllerStats:
             "events_received": self.events_received,
             "events_forwarded": self.events_forwarded,
             "events_buffered": self.events_buffered,
+            "events_dropped": self.events_dropped,
             "chunks_transferred": self.total_chunks(),
             "bytes_transferred": self.total_bytes(),
             "mean_move_duration": self.mean_duration(OperationType.MOVE),

@@ -1,0 +1,154 @@
+"""Transfer guarantees and pipeline tuning for stateful operations.
+
+The paper's prototype implements exactly one flavor of state movement:
+sequential per-chunk get→put with unconditional event buffering.  Real
+deployments want to trade consistency for speed, so the controller accepts a
+:class:`TransferSpec` with every ``moveInternal`` / ``cloneSupport`` /
+``mergeInternal`` call.  A spec combines:
+
+* a **guarantee** (:class:`TransferGuarantee`) — what happens to the packets
+  that keep updating state while its transfer is in flight:
+
+  - ``NO_GUARANTEE``: re-process events raised during the transfer are
+    dropped; updates made at the source after its state was snapshotted may be
+    lost.  Fastest, weakest.
+  - ``LOSS_FREE``: events are buffered per flow until the destination has
+    ACKed the put for that flow's state, then replayed (the seed's behaviour,
+    paper Figure 5).  No update is lost, but replays can interleave with
+    packets the destination processes directly.
+  - ``ORDER_PRESERVING``: additionally, puts carry a *hold* flag so the
+    destination queues fresh packets for a moved flow until the controller has
+    replayed that flow's buffered events in order and sent a per-flow
+    ``TRANSFER_RELEASE``.  Updates are applied in arrival order; slowest.
+
+* **optimizations** for the chunk pipeline:
+
+  - ``parallelism`` — how many put messages may be in flight (unACKed) at
+    once.  ``0`` means unbounded (puts issued as chunks stream in, the seed's
+    behaviour); ``1`` is the fully sequential strawman that waits for each
+    put's ACK before issuing the next.
+  - ``batch_size`` — how many chunks are packed into one
+    ``PUT_PERFLOW_BATCH`` message.  Batching amortises the controller's
+    per-message cost over many chunks (one ACK per batch instead of one per
+    chunk), which is the standard lever for bulk inter-node transfers.
+  - ``early_release`` — as soon as a flow's state is installed at the
+    destination and its buffered events are flushed, send the *source* a
+    per-flow ``TRANSFER_RELEASE`` so it stops raising re-process events for
+    that flow.  Reduces event volume during long transfers, at the cost of
+    losing updates that hit the source after the release (weaker than pure
+    loss-free; use with NO_GUARANTEE or after rerouting).
+
+``TransferSpec.default()`` reproduces the seed's single hard-coded flavor
+exactly (loss-free, unbounded pipelined puts, no batching, no early release),
+so existing control applications keep their semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+
+class TransferGuarantee(enum.Enum):
+    """Consistency level applied to in-transfer state updates."""
+
+    NO_GUARANTEE = "no_guarantee"
+    LOSS_FREE = "loss_free"
+    ORDER_PRESERVING = "order_preserving"
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """How a stateful northbound operation moves its chunks and events.
+
+    See the module docstring for the meaning of each field.  Instances are
+    immutable and hashable so they can key per-configuration statistics.
+    """
+
+    guarantee: TransferGuarantee = TransferGuarantee.LOSS_FREE
+    #: Maximum put/batch messages awaiting an ACK; 0 = unbounded (seed default).
+    parallelism: int = 0
+    #: Chunks per PUT_PERFLOW_BATCH message; 1 = one classic put per chunk.
+    batch_size: int = 1
+    #: Release the source's per-flow transfer marker as soon as the flow is moved.
+    early_release: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.guarantee, TransferGuarantee):
+            raise ValueError(f"guarantee must be a TransferGuarantee, got {self.guarantee!r}")
+        if self.parallelism < 0:
+            raise ValueError(f"parallelism must be >= 0, got {self.parallelism}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    # -- canned configurations ---------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "TransferSpec":
+        """The seed's behaviour: loss-free, pipelined single-chunk puts."""
+        return cls()
+
+    @classmethod
+    def sequential(cls, guarantee: TransferGuarantee = TransferGuarantee.LOSS_FREE) -> "TransferSpec":
+        """Strictly sequential puts: wait for each ACK before the next put."""
+        return cls(guarantee=guarantee, parallelism=1)
+
+    @classmethod
+    def parallel(
+        cls, window: int = 0, guarantee: TransferGuarantee = TransferGuarantee.LOSS_FREE
+    ) -> "TransferSpec":
+        """Pipelined puts with up to *window* messages in flight (0 = unbounded)."""
+        return cls(guarantee=guarantee, parallelism=window)
+
+    @classmethod
+    def batched(
+        cls, batch_size: int = 32, guarantee: TransferGuarantee = TransferGuarantee.LOSS_FREE
+    ) -> "TransferSpec":
+        """Pack *batch_size* chunks per put message, one ACK per batch."""
+        return cls(guarantee=guarantee, batch_size=batch_size)
+
+    # -- parsing -----------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, value: Union["TransferSpec", TransferGuarantee, str, Dict[str, Any], None]) -> "TransferSpec":
+        """Coerce a user-supplied value into a spec.
+
+        Accepts an existing spec, a guarantee (enum or its string value), a
+        mapping of constructor fields, or None (the default spec).
+        """
+        if value is None:
+            return cls.default()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, TransferGuarantee):
+            return cls(guarantee=value)
+        if isinstance(value, str):
+            return cls(guarantee=TransferGuarantee(value))
+        if isinstance(value, dict):
+            fields = dict(value)
+            guarantee = fields.pop("guarantee", TransferGuarantee.LOSS_FREE)
+            if isinstance(guarantee, str):
+                guarantee = TransferGuarantee(guarantee)
+            return cls(guarantee=guarantee, **fields)
+        raise ValueError(f"cannot interpret {value!r} as a TransferSpec")
+
+    # -- derived properties ------------------------------------------------------------
+
+    @property
+    def holds_destination_flows(self) -> bool:
+        """True when puts must carry the hold flag (order-preserving mode)."""
+        return self.guarantee is TransferGuarantee.ORDER_PRESERVING
+
+    def describe(self) -> str:
+        """Short human-readable tag used in benchmark tables and records."""
+        parts = [self.guarantee.value]
+        if self.parallelism == 1:
+            parts.append("seq")
+        elif self.parallelism > 1:
+            parts.append(f"par{self.parallelism}")
+        if self.batch_size > 1:
+            parts.append(f"batch{self.batch_size}")
+        if self.early_release:
+            parts.append("early-release")
+        return "+".join(parts)

@@ -79,6 +79,7 @@ class MiddleboxCounters:
     packets_dropped: int = 0
     bytes_received: int = 0
     reprocessed_packets: int = 0
+    packets_held: int = 0
     reprocess_events_raised: int = 0
     introspection_events_raised: int = 0
     processing_time_total: float = 0.0
@@ -120,6 +121,9 @@ class Middlebox(Node, MiddleboxInterface):
         self.counters = MiddleboxCounters()
         #: Flows whose exported per-flow state is flagged for re-process events.
         self._transferred_flows: set = set()
+        #: Flows held by an order-preserving transfer: packets queue until release.
+        self._held_flows: set = set()
+        self._held_packets: Dict[FlowKey, List[Tuple[Packet, Optional[int]]]] = {}
         #: True while exported shared state is flagged for re-process events.
         self._shared_transfer_active = False
         #: True while re-processing a replayed packet (external side effects suppressed).
@@ -173,7 +177,16 @@ class Middlebox(Node, MiddleboxInterface):
         self.counters.processing_time_total += cost
         self.sim.schedule(cost, self._process_and_forward, packet, in_port)
 
-    def _process_and_forward(self, packet: Packet, in_port: int) -> None:
+    def _process_and_forward(self, packet: Packet, in_port: Optional[int]) -> None:
+        if self._held_flows:
+            key = packet.flow_key().bidirectional()
+            if key in self._held_flows:
+                # An order-preserving transfer owns this flow: queue the packet
+                # until the controller has replayed the flow's buffered events
+                # and sent TRANSFER_RELEASE.
+                self.counters.packets_held += 1
+                self._held_packets.setdefault(key, []).append((packet, in_port))
+                return
         result = self.process_packet(packet)
         self._after_processing(packet, result, in_port=in_port, suppress_side_effects=False)
 
@@ -397,8 +410,33 @@ class Middlebox(Node, MiddleboxInterface):
         }
 
     def end_transfer(self) -> None:
+        # Note: per-flow packet holds are deliberately NOT cleared here.  They
+        # belong to an order-preserving move targeting this middlebox, and a
+        # TRANSFER_END can arrive from an unrelated operation (a clone/merge
+        # whose source this middlebox is); only the owning move's per-flow
+        # TRANSFER_RELEASE (or its failure cleanup) may lift a hold.
         self._transferred_flows.clear()
         self._shared_transfer_active = False
+
+    def hold_flows(self, keys: List[FlowKey]) -> None:
+        """Start queueing fresh packets for *keys* (order-preserving puts)."""
+        for key in keys:
+            self._held_flows.add(key.bidirectional())
+
+    def release_flows(self, keys: List[FlowKey]) -> None:
+        """Per-flow TRANSFER_RELEASE: stop transfer involvement for *keys*.
+
+        Clears the flows' transfer markers (they stop raising re-process
+        events — the early-release optimization at a source) and lifts any
+        packet hold, processing queued packets in arrival order (the
+        order-preserving release at a destination).
+        """
+        for key in keys:
+            canonical = key.bidirectional()
+            self._transferred_flows.discard(canonical)
+            self._held_flows.discard(canonical)
+            for packet, in_port in self._held_packets.pop(canonical, []):
+                self._process_and_forward(packet, in_port)
 
     def reprocess(self, packet: Packet, *, shared: bool = False) -> None:
         """Re-process a replayed packet, updating state but suppressing side effects.

@@ -1,0 +1,188 @@
+"""Regression tests for operation failure paths and controller book-keeping.
+
+Covers the satellite fixes of the transfer-strategy refactor:
+
+* a destination ERROR mid-move fails both the ``completed`` and ``finalized``
+  futures and archives the operation exactly once (no double archive when the
+  quiescence timer later fires);
+* ``unregister`` drops the removed middlebox's reply handlers and detaches the
+  channel's controller binding so late replies are discarded;
+* replay-dedup tokens in ``_forwarded_events`` are pruned when an operation
+  finishes instead of growing without bound.
+"""
+
+import pytest
+
+from repro.core import ControllerConfig, MBController, NorthboundAPI, TransferSpec
+from repro.core.errors import OperationError, StateError
+from repro.middleboxes import DummyMiddlebox
+from repro.net import Simulator, tcp_packet
+
+
+class FailingDestination(DummyMiddlebox):
+    """Accepts the first *accept* puts, then errors on every later one."""
+
+    def __init__(self, sim, name, *, accept=0):
+        super().__init__(sim, name)
+        self._accept = accept
+        self.puts_seen = 0
+
+    def put_perflow(self, chunk):
+        self.puts_seen += 1
+        if self.puts_seen > self._accept:
+            raise StateError("destination import failed (simulated)")
+        super().put_perflow(chunk)
+
+
+@pytest.fixture
+def failing_move(sim):
+    """A controller with a populated source and a destination that errors mid-move."""
+    controller = MBController(sim, ControllerConfig(quiescence_timeout=0.2))
+    northbound = NorthboundAPI(controller)
+    src = DummyMiddlebox(sim, "fsrc", chunk_count=20)
+    dst = FailingDestination(sim, "fdst", accept=5)
+    controller.register(src)
+    controller.register(dst)
+    return controller, northbound, src, dst
+
+
+class TestMoveFailurePaths:
+    def test_destination_error_fails_both_futures(self, sim, failing_move):
+        controller, northbound, _, _ = failing_move
+        handle = northbound.move_internal("fsrc", "fdst", None)
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        assert handle.completed.done and handle.completed.exception is not None
+        assert handle.finalized.done and handle.finalized.exception is not None
+
+    def test_failed_operation_archived_exactly_once(self, sim, failing_move):
+        controller, northbound, _, _ = failing_move
+        handle = northbound.move_internal("fsrc", "fdst", None)
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        # Run far past the quiescence timeout: the timer must not finalize (and
+        # re-archive) the already-failed operation.
+        sim.run(until=sim.now + 10 * controller.config.quiescence_timeout)
+        assert len(controller.stats.records) == 1
+        assert controller.stats.operations_failed == 1
+        assert controller.active_operations() == []
+
+    def test_destination_error_with_batched_pipeline(self, sim, failing_move):
+        controller, northbound, _, _ = failing_move
+        handle = northbound.move_internal("fsrc", "fdst", None, spec=TransferSpec.batched(8))
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        sim.run(until=sim.now + 10 * controller.config.quiescence_timeout)
+        assert len(controller.stats.records) == 1
+
+    def test_failed_order_preserving_move_releases_destination_holds(self, sim, failing_move):
+        from repro.core import TransferGuarantee
+
+        controller, northbound, _, dst = failing_move
+        spec = TransferSpec(guarantee=TransferGuarantee.ORDER_PRESERVING)
+        handle = northbound.move_internal("fsrc", "fdst", None, spec=spec)
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        # The failure-path cleanup release must reach the destination and lift
+        # every hold installed by the already-ACKed puts.
+        sim.run(until=sim.now + 1.0)
+        assert not dst._held_flows
+        assert not dst._held_packets
+
+    def test_late_replies_after_failure_do_not_resurrect_operation(self, sim, failing_move):
+        controller, northbound, _, _ = failing_move
+        handle = northbound.move_internal("fsrc", "fdst", None, spec=TransferSpec.sequential())
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        acked_at_failure = handle.record.puts_acked
+        # Remaining chunk-stream replies and put ACKs arrive after the archive;
+        # they must not mutate the archived record or dispatch more puts.
+        sim.run(until=sim.now + 2.0)
+        assert handle.record.puts_acked == acked_at_failure
+        assert len(controller.stats.records) == 1
+
+    def test_source_error_fails_once(self, sim, controller, northbound):
+        from repro.middleboxes import LoadBalancer
+
+        lb1 = LoadBalancer(sim, "lb1", backends=["10.0.0.1"])
+        lb2 = LoadBalancer(sim, "lb2", backends=["10.0.0.1"])
+        controller.register(lb1)
+        controller.register(lb2)
+        # LB state is per-destination, so a 5-tuple move pattern is finer than
+        # its granularity and the source rejects the gets with ERROR.
+        handle = northbound.move_internal("lb1", "lb2", ["nw_dst=192.0.2.1"])
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        assert handle.finalized.exception is not None
+        sim.run(until=sim.now + 10 * controller.config.quiescence_timeout)
+        assert len(controller.stats.records) == 1
+
+
+class TestUnregisterCleanup:
+    def test_unregister_clears_reply_handlers_and_channel_binding(self, sim, controller, northbound, monitor_pair):
+        future = northbound.read_config("mon2", "*")
+        assert any(name == "mon2" for name, _ in controller._reply_handlers)
+        channel = controller.channel_for("mon2")
+        controller.unregister("mon2")
+        assert not any(name == "mon2" for name, _ in controller._reply_handlers)
+        # The late reply is dropped instead of being dispatched through the
+        # stale binding (and must not crash the simulation).
+        sim.run(until=sim.now + 1.0)
+        assert not future.done
+        assert channel._controller_handler is None
+
+    def test_unregistered_middlebox_events_are_dropped(self, sim, controller, monitor_pair):
+        mon1, _ = monitor_pair
+        received_before = controller.stats.events_received
+        controller.unregister("mon1")
+        # The orphaned instance keeps seeing traffic for transfer-marked state.
+        mon1.enable_events("test-code")
+        mon1.raise_event("test-code")
+        sim.run(until=sim.now + 1.0)
+        assert controller.stats.events_received == received_before
+
+    def test_unregister_mid_move_fails_the_operation(self, sim, controller, northbound):
+        from repro.core.errors import UnknownMiddleboxError
+
+        src = DummyMiddlebox(sim, "usrc", chunk_count=200)
+        dst = DummyMiddlebox(sim, "udst")
+        controller.register(src)
+        controller.register(dst)
+        handle = northbound.move_internal("usrc", "udst", None)
+        sim.schedule(0.001, controller.unregister, "udst")
+        with pytest.raises(UnknownMiddleboxError):
+            sim.run_until(handle.completed, limit=20)
+        assert handle.finalized.exception is not None
+        sim.run(until=sim.now + 5.0)
+        assert len(controller.stats.records) == 1
+        assert controller.active_operations() == []
+
+    def test_unregister_after_completion_still_finalizes(self, sim, controller, northbound, monitor_pair):
+        """The scale-down idiom: the source is terminated once the move returned."""
+        handle = northbound.move_internal("mon1", "mon2", None)
+        sim.run_until(handle.completed)
+        controller.unregister("mon1")
+        record = sim.run_until(handle.finalized, limit=50)
+        assert record.finalized_at is not None
+
+    def test_reregistration_after_unregister_works(self, sim, controller, northbound, monitor_pair):
+        from repro.middleboxes import PassiveMonitor
+
+        controller.unregister("mon2")
+        replacement = PassiveMonitor(sim, "mon2")
+        controller.register(replacement)
+        values = sim.run_until(northbound.read_config("mon2", "*"))
+        assert "Monitor.PromiscuousMode" in values
+
+
+class TestForwardedEventPruning:
+    def test_tokens_pruned_when_operation_finishes(self, sim, controller, northbound, monitor_pair):
+        mon1, _ = monitor_pair
+        handle = northbound.move_internal("mon1", "mon2", None)
+        for index in range(20):
+            packet = tcp_packet(f"10.0.{index % 3}.{index + 1}", "192.0.2.10", 1000 + index, 80, b"x")
+            sim.schedule(0.001 * index, mon1.receive, packet, 1)
+        record = sim.run_until(handle.finalized, limit=100)
+        sim.run(until=sim.now + 1.0)
+        assert record.events_forwarded > 0
+        assert len(controller._forwarded_events) == 0
