@@ -7,7 +7,7 @@ windows of the moveInternal operation, over a window around the scale-up.
 
 from __future__ import annotations
 
-from repro.analysis import ActivitySampler, format_series, format_table, operation_windows, print_block
+from repro.analysis import ActivitySampler, format_table, operation_windows, print_block
 from repro.apps import ScaleUpApp, build_two_instance_scenario
 from repro.core import FlowPattern
 from repro.middleboxes import PassiveMonitor

@@ -12,7 +12,7 @@ costs for the IDS.
 from __future__ import annotations
 
 from repro.analysis import format_table, print_block
-from repro.core import ControllerConfig, FlowPattern, MBController, NorthboundAPI
+from repro.core import ControllerConfig, FlowPattern, MBController
 from repro.core.messages import MessageType
 from repro.core import messages
 from repro.core.state import StateRole

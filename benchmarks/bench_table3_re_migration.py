@@ -22,10 +22,15 @@ REDUNDANCY = 0.6
 
 
 def _workload(seed_a=81, seed_b=82, interval=0.002):
-    warm_a = redundancy_trace(packets=WARM_PACKETS, payload_bytes=PAYLOAD, redundancy=REDUNDANCY, server_subnet="1.1.1", seed=seed_a, interval=interval)
-    warm_b = redundancy_trace(packets=WARM_PACKETS, payload_bytes=PAYLOAD, redundancy=REDUNDANCY, server_subnet="1.1.2", seed=seed_b, interval=interval)
-    post_a = redundancy_trace(packets=POST_PACKETS, payload_bytes=PAYLOAD, redundancy=REDUNDANCY, server_subnet="1.1.1", seed=seed_a, interval=interval)
-    post_b = redundancy_trace(packets=POST_PACKETS, payload_bytes=PAYLOAD, redundancy=REDUNDANCY, server_subnet="1.1.2", seed=seed_b, interval=0.004)
+    def trace(packets, subnet, seed, spacing):
+        return redundancy_trace(
+            packets=packets, payload_bytes=PAYLOAD, redundancy=REDUNDANCY, server_subnet=subnet, seed=seed, interval=spacing
+        )
+
+    warm_a = trace(WARM_PACKETS, "1.1.1", seed_a, interval)
+    warm_b = trace(WARM_PACKETS, "1.1.2", seed_b, interval)
+    post_a = trace(POST_PACKETS, "1.1.1", seed_a, interval)
+    post_b = trace(POST_PACKETS, "1.1.2", seed_b, 0.004)
     return warm_a, warm_b, post_a, post_b
 
 

@@ -1,0 +1,172 @@
+"""Transaction-coordinated rebalance vs. manual sequencing.
+
+The transactional northbound API orders route installation on the move's
+*state-installed* point (every per-flow put ACKed) instead of whole-operation
+completion.  For an order-preserving move the difference is the entire replay
++ per-flow-release tail: with manual sequencing the new route is not even
+requested until that tail has drained, so live traffic keeps arriving at the
+old instance the whole time and every such packet needs a buffered replay.
+
+This benchmark runs the same monitor rebalance both ways and reports:
+
+* **move time** — moveInternal start until the operation returned;
+* **re-route window** — state fully installed at the destination until the
+  new routes are applied on every switch (the interval in which packets still
+  reach the old instance although the new one could already serve them);
+* **stale deliveries** — packets the old instance received inside that window
+  (each one costs a re-process event + replay);
+* **updates lost / misordered** — conservation check over per-flow packet
+  counters, and packets the destination had to queue behind per-flow holds
+  (the order-preserving misordering guard).
+
+Expected shape: identical move times, a much shorter re-route window for the
+transaction (install latency only), correspondingly fewer stale deliveries,
+and zero lost updates for both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, print_block
+from repro.apps import build_two_instance_scenario
+from repro.core import FlowPattern, TransferGuarantee, TransferSpec
+from repro.middleboxes import PassiveMonitor
+
+FLOWS = 60
+PACKETS_DURING_MOVE = 600
+PACKET_SPACING = 0.0002
+SPEC = TransferSpec(guarantee=TransferGuarantee.ORDER_PRESERVING)
+PATTERN = FlowPattern(nw_src="10.1.1.0/24")
+
+
+def build():
+    scenario = build_two_instance_scenario(
+        mb_factory=lambda sim, name: PassiveMonitor(sim, name),
+        mb_names=("mon1", "mon2"),
+        quiescence_timeout=0.2,
+    )
+    sim = scenario.sim
+    for index in range(FLOWS):
+        from repro.net import tcp_packet
+
+        packet = tcp_packet(f"10.1.1.{index % 200 + 1}", "172.16.0.10", 1000 + index, 80, b"warm")
+        sim.schedule(0.0002 * index, scenario.mb1.receive, packet, 1)
+    sim.run(until=sim.now + 0.1)
+    return scenario
+
+
+def keep_traffic_flowing(scenario):
+    from repro.net import tcp_packet
+
+    sim = scenario.sim
+    for index in range(PACKETS_DURING_MOVE):
+        packet = tcp_packet(
+            f"10.1.1.{index % FLOWS % 200 + 1}", "172.16.0.10", 1000 + index % FLOWS, 80, b"live"
+        )
+        sim.schedule(PACKET_SPACING * index, scenario.client_gw.send, packet)
+
+
+def arm(scenario, handle, routed_future):
+    """Register the window-boundary probes (must run before the simulation)."""
+    sim = scenario.sim
+    marks = {}
+    handle.state_installed.add_done_callback(
+        lambda f: marks.update(installed_at=sim.now, stale_at_install=scenario.mb1.counters.packets_received)
+    )
+    routed_future.add_done_callback(
+        lambda f: marks.update(routed_at=sim.now, stale_at_routed=scenario.mb1.counters.packets_received)
+    )
+    return marks
+
+
+def measure(scenario, handle, routed_future, marks):
+    """Common measurement: window boundaries + conservation."""
+    sim = scenario.sim
+    sim.run_until(handle.finalized, limit=1000)
+    if not routed_future.done:
+        sim.run_until(routed_future, limit=1000)
+    sim.run(until=sim.now + 1.0)
+    record = handle.record
+    total = sum(rec.packets for _, rec in scenario.mb1.report_store.items())
+    total += sum(rec.packets for _, rec in scenario.mb2.report_store.items())
+    return {
+        "move_time": record.duration,
+        "window": marks["routed_at"] - marks["installed_at"],
+        "stale_deliveries": marks["stale_at_routed"] - marks["stale_at_install"],
+        "updates_lost": FLOWS + PACKETS_DURING_MOVE - total,
+        "held_packets": scenario.mb2.counters.packets_held,
+        "events_replayed": record.events_forwarded,
+        "releases": record.releases_sent,
+    }
+
+
+def run_manual():
+    """The pre-transaction idiom: re-route only after the move *returned*."""
+    scenario = build()
+    sim = scenario.sim
+    handle = scenario.northbound.move_internal("mon1", "mon2", PATTERN, spec=SPEC)
+    keep_traffic_flowing(scenario)
+    routed = sim.event(name="manual-routed")
+    handle.completed.add_done_callback(
+        lambda f: scenario.route_via(scenario.mb2, PATTERN).add_done_callback(
+            lambda rf: routed.succeed(None)
+        )
+    )
+    marks = arm(scenario, handle, routed)
+    return measure(scenario, handle, routed, marks)
+
+
+def run_transaction():
+    """One transaction: the reroute step is gated on state_installed."""
+    scenario = build()
+    sim = scenario.sim
+    txn = scenario.northbound.transaction()
+    move = txn.move("mon1", "mon2", PATTERN, spec=SPEC)
+    route = txn.reroute(
+        pattern=PATTERN, apply=lambda: scenario.route_via(scenario.mb2, PATTERN), after=move
+    )
+    txn_handle = txn.commit()
+    keep_traffic_flowing(scenario)
+    # The move step launches on the first scheduling round; step once so the
+    # operation handle exists, then arm the probes before the clock advances.
+    sim.run(until=sim.now)
+    marks = arm(scenario, move.handle, route.gate)
+    sim.run_until(txn_handle.done, limit=1000)
+    return measure(scenario, move.handle, route.gate, marks)
+
+
+def test_transaction_rebalance_vs_manual(once):
+    def run_both():
+        return {"manual sequencing": run_manual(), "transaction": run_transaction()}
+
+    results = once(run_both)
+    headers = [
+        "strategy",
+        "move time (s)",
+        "re-route window (s)",
+        "stale deliveries",
+        "updates lost",
+        "held @ dst",
+        "replays",
+    ]
+    rows = [
+        [
+            name,
+            metrics["move_time"],
+            metrics["window"],
+            metrics["stale_deliveries"],
+            metrics["updates_lost"],
+            metrics["held_packets"],
+            metrics["events_replayed"],
+        ]
+        for name, metrics in results.items()
+    ]
+    print_block(
+        format_table("Transaction-coordinated rebalance vs manual sequencing (order-preserving move)", headers, rows)
+    )
+    manual, txn = results["manual sequencing"], results["transaction"]
+    assert manual["updates_lost"] == 0
+    assert txn["updates_lost"] == 0
+    # The coordinated reroute opens a strictly shorter window and therefore
+    # fewer packets hit the stale instance.
+    assert txn["window"] < manual["window"]
+    assert txn["stale_deliveries"] <= manual["stale_deliveries"]

@@ -73,7 +73,7 @@ def main() -> None:
     )
     report = sim.run_until(scale_down.start(), limit=300)
     print(f"[t={sim.now:.2f}s] scale-down complete: moved {report.details['chunks_moved']} chunks back, "
-          f"merged shared reporting state")
+          "merged shared reporting state")
 
     # Drain the rest of the trace and compare against a single reference monitor.
     sim.run(until=sim.now + 3.0)

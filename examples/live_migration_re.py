@@ -86,7 +86,7 @@ def summarize(name, scenario):
     print(f"    total payload bytes seen by the encoder : {encoder.total_bytes}")
     print(f"    redundant bytes eliminated (encoded)    : {encoder.encoded_bytes}")
     print(f"    undecodable bytes at the decoders       : {undecodable}")
-    print(f"    packets delivered to DC A / DC B        : "
+    print("    packets delivered to DC A / DC B        : "
           f"{len(scenario.dc_a_host.received)} / {len(scenario.dc_b_host.received)}")
 
 

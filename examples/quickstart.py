@@ -17,7 +17,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.core import ControllerConfig, FlowPattern, MBController, NorthboundAPI
+from repro.core import ControllerConfig, MBController, NorthboundAPI
 from repro.middleboxes import PassiveMonitor
 from repro.net import Simulator
 from repro.traffic import TraceReplayer, constant_rate_trace

@@ -7,7 +7,7 @@ set of labelled reproductions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

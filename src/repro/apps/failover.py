@@ -22,7 +22,7 @@ from ..core.northbound import NorthboundAPI
 from ..middleboxes.nat import EVENT_MAPPING_CREATED
 from ..net.sdn import SDNController
 from ..net.simulator import Future, Simulator
-from .base import AppReport, ControlApplication
+from .base import ControlApplication
 
 
 class FailureRecoveryApp(ControlApplication):
@@ -86,29 +86,36 @@ class FailureRecoveryApp(ControlApplication):
 
     def steps(self) -> Generator:
         # 1. Copy the protected middlebox's essential configuration.  The failed
-        #    instance may be unreachable, so the configuration comes from the
-        #    shadow copy the operator keeps (here: a best-effort readConfig that
-        #    falls back to nothing if the middlebox is gone).
+        #    instance may be unreachable, so this stays a best-effort read
+        #    *outside* the transaction (a failure here must not abort recovery).
         try:
             values = yield self.nb.read_config(self.protected_mb, "*")
         except Exception:
             values = {}
-        if values:
-            restorable = {key: vals for key, vals in values.items() if key in self._config_keys}
-            if restorable:
-                yield self.nb.write_config(self.replacement_mb, "*", restorable)
-                self._log(f"restored {len(restorable)} configuration keys")
-        # 2. Restore the critical state (address/port mappings) as static mappings.
+        restorable = {key: vals for key, vals in (values or {}).items() if key in self._config_keys}
         static = [
             f"{key.nw_src}:{key.tp_src}={external_ip}:{external_port}"
             for key, (external_ip, external_port) in sorted(self.shadow.items())
         ]
+        # 2+3. Restore configuration and critical state into the replacement
+        # and re-route to it — one transaction, so a half-restored replacement
+        # never receives live traffic: if any write fails, the routing change
+        # is rolled back along with it.
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        if restorable:
+            txn.write_config(self.replacement_mb, "*", restorable)
         if static:
-            yield self.nb.write_config(self.replacement_mb, "NAT.StaticMappings", static)
+            txn.write_config(self.replacement_mb, "NAT.StaticMappings", static)
+        txn.reroute(apply=self._update_routing, label=f"reroute({self.replacement_mb})")
+        handle = txn.commit()
+        yield handle.done
+        if restorable:
+            self._log(f"restored {len(restorable)} configuration keys")
+        if static:
             self._log(f"restored {len(static)} critical mappings into {self.replacement_mb}")
-        # 3. Re-route traffic to the replacement instance.
-        yield self._update_routing()
         self._log("routing updated to the replacement instance")
+        self.report.details["transaction"] = handle.aggregate()
         self.report.details["mappings_restored"] = len(static)
         self.report.details["events_seen"] = self.events_seen
         return self.report

@@ -1,27 +1,30 @@
 """Live migration control applications (paper sections 2 and 6.1).
 
-Two applications live here:
+Two applications live here, both written on the transactional northbound API:
 
 * :class:`REMigrationApp` — the paper's section 6.1 application: when half of
   an application's VMs migrate from data center A to data center B, launch a
   new RE decoder in DC B, clone the original decoder's cache, add a second
   cache at the encoder, re-route the migrated subnet, and finally tell the
-  encoder to use the second cache for traffic to DC B.
+  encoder to use the second cache for traffic to DC B.  The whole numbered
+  sequence is one transaction: a failure anywhere (say, the encoder rejecting
+  the cache switch) rolls the routing change back instead of leaving DC B's
+  traffic pointed at a decoder the encoder is not feeding.
 * :class:`PerFlowMigrationApp` — the generic per-flow middlebox migration used
-  with the IDS in the VM-snapshot comparison (section 8.1.2): clone the
-  configuration, move the per-flow state for the migrated flows, and re-route
-  them, in that order.
+  with the IDS in the VM-snapshot comparison (section 8.1.2): one ``migrate``
+  composite (clone the configuration, move the per-flow state, re-route once
+  the per-flow put-ACKs arrive).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Sequence
+from typing import Callable, Generator, Optional
 
 from ..core.flowspace import FlowPattern
 from ..core.northbound import NorthboundAPI
 from ..net.sdn import SDNController
 from ..net.simulator import Future, Simulator
-from .base import AppReport, ControlApplication
+from .base import ControlApplication
 
 RoutingCallback = Callable[[], Future]
 
@@ -55,45 +58,46 @@ class REMigrationApp(ControlApplication):
         self.wait_for_clone_quiescence = wait_for_clone_quiescence
 
     def steps(self) -> Generator:
-        # 1. Launch a new RE decoder in DC B (done by the operator / scenario) and
-        #    duplicate the configuration of the original decoder.
-        self._log(f"cloning configuration {self.orig_decoder} -> {self.new_decoder}")
-        values = yield self.nb.read_config(self.orig_decoder, "*")
-        yield self.nb.write_config(self.new_decoder, "*", values)
-
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        # 1. The new decoder was launched by the operator/scenario; duplicate
+        #    the original decoder's configuration onto it.
+        txn.clone_config(self.orig_decoder, self.new_decoder)
         # 2. Clone the original decoder's cache (shared supporting state).
-        self._log(f"cloning decoder cache {self.orig_decoder} -> {self.new_decoder}")
-        clone = self.nb.clone_support(self.orig_decoder, self.new_decoder)
-        clone_record = yield clone.completed
+        clone = txn.clone(self.orig_decoder, self.new_decoder)
+        # 3. Add a second cache to the encoder (it clones its original cache).
+        #    The clone's state-installed point gates this — not whole-clone
+        #    completion — so the cache switch-over preparation overlaps with
+        #    the clone's remaining event replay.
+        second_cache = txn.write_config(self.encoder, "NumCaches", [2], after=(clone, "installed"))
+        # 4. Re-route DC B's subnet to the new decoder once the cloned cache is
+        #    resident there and the encoder has its second cache.
+        txn.reroute(
+            pattern=FlowPattern(nw_dst=self.dc_b_prefix),
+            apply=self.update_routing,
+            after=[second_cache, (clone, "installed")],
+            label=f"reroute({self.dc_b_prefix})",
+        )
+        # 5. Switch the encoder's cache selection; optionally wait for the
+        #    clone's re-process events to quiesce first.
+        if self.wait_for_clone_quiescence:
+            txn.barrier([clone], finalized=True)
+        txn.write_config(self.encoder, "CacheFlows", [self.dc_a_prefix, self.dc_b_prefix])
+        # 6. The clone transaction is over: routing and the cache selection are
+        #    in place, so the original decoder stops replaying its own (DC A)
+        #    traffic to the new decoder — from here the two caches evolve
+        #    independently, in lock-step with their respective encoder caches.
+        txn.end_transfer(self.orig_decoder)
+
+        handle = txn.commit()
+        yield handle.done
+
+        clone_record = clone.handle.record
         self._log(
             f"clone transferred {clone_record.bytes_transferred} bytes "
             f"in {clone_record.duration:.4f}s"
         )
-
-        # 3. Add a second cache to the encoder; internally the encoder clones its
-        #    original cache to create the new one.
-        self._log(f"adding a second cache at {self.encoder}")
-        yield self.nb.write_config(self.encoder, "NumCaches", [2])
-
-        # 4. Update the network routing so traffic for DC B's subnet reaches the new decoder.
-        self._log(f"re-routing {self.dc_b_prefix} to the new decoder")
-        yield self.update_routing()
-
-        # 5. Tell the encoder to start using the second cache for traffic going to the
-        #    VMs in DC B and the first cache for traffic going to the VMs in DC A.
-        if self.wait_for_clone_quiescence:
-            yield clone.finalized
-            self._log("clone events quiesced")
-        self._log("switching the encoder's cache selection")
-        yield self.nb.write_config(self.encoder, "CacheFlows", [self.dc_a_prefix, self.dc_b_prefix])
-
-        # 6. The clone transaction is over: routing and the encoder's cache selection
-        #    are in place, so the original decoder must stop replaying its own (DC A)
-        #    traffic to the new decoder — from here the two caches evolve independently,
-        #    in lock-step with their respective encoder caches.
-        yield self.nb.end_transfer(self.orig_decoder)
-        self._log("ended the clone transfer at the original decoder")
-
+        self.report.details["transaction"] = handle.aggregate()
         self.report.details["clone"] = clone_record
         self.report.details["clone_bytes"] = clone_record.bytes_transferred
         self.report.details["events_forwarded"] = clone_record.events_forwarded
@@ -127,21 +131,24 @@ class PerFlowMigrationApp(ControlApplication):
         self.wait_for_finalize = wait_for_finalize
 
     def steps(self) -> Generator:
-        if self.clone_configuration:
-            self._log(f"cloning configuration {self.old_mb} -> {self.new_mb}")
-            values = yield self.nb.read_config(self.old_mb, "*")
-            yield self.nb.write_config(self.new_mb, "*", values)
-        self._log(f"moving per-flow state for {self.pattern!r}")
-        handle = self.nb.move_internal(self.old_mb, self.new_mb, self.pattern)
-        record = yield handle.completed
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        moves = txn.migrate(
+            self.old_mb,
+            self.new_mb,
+            [self.pattern],
+            clone_configuration=self.clone_configuration,
+            reroute=self.update_routing,
+            wait_for_finalize=self.wait_for_finalize,
+        )
+        handle = txn.commit()
+        yield handle.done
+
+        record = moves[0].handle.record
         self._log(
             f"move returned after {record.duration:.4f}s with {record.chunks_transferred} chunks"
         )
-        yield self.update_routing(self.pattern)
-        self._log("routing updated; migrated flows now reach the new middlebox")
-        if self.wait_for_finalize:
-            yield handle.finalized
-            self._log("source state deleted after quiescence")
+        self.report.details["transaction"] = handle.aggregate()
         self.report.details["move"] = record
         self.report.details["chunks_moved"] = record.chunks_transferred
         self.report.details["bytes_moved"] = record.bytes_transferred

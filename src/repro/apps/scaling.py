@@ -1,22 +1,31 @@
-"""Elastic scaling control application (paper section 6.2).
+"""Elastic scaling control applications (paper section 6.2).
 
-Scale-up launches an additional monitoring instance, duplicates its
-configuration, queries how much per-flow state exists for the subnets being
-re-balanced, moves that per-flow state, and only then re-routes the affected
-flows to the new instance.  Scale-down moves all per-flow state back to the
-remaining instance, merges the shared reporting state (so packet/flow counters
-are neither over- nor under-reported), re-routes, and terminates the spare.
+Since the transactional-API redesign the three scaling applications are thin
+wrappers over :meth:`~repro.core.northbound.NorthboundAPI.transaction`:
+
+* :class:`ScaleUpApp` declares one ``migrate`` composite — clone the
+  configuration, then per subnet: stats → move → re-route — and commits;
+* :class:`ScaleDownApp` declares one ``drain`` composite — move everything,
+  merge the shared reporting state, re-route, wait for finalisation,
+  terminate the spare;
+* :class:`RebalanceApp` declares one ``rebalance`` composite — measure load
+  and move state from the busiest to the idlest replica.
+
+The transaction coordinator supplies what the hand-sequenced versions could
+not: route installation ordered on the per-flow put-ACKs
+(``state_installed``) instead of whole-operation completion, and
+all-or-nothing rollback if any step fails.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Generator, Optional, Sequence
 
 from ..core.flowspace import FlowPattern
 from ..core.northbound import NorthboundAPI
 from ..net.sdn import SDNController
 from ..net.simulator import Future, Simulator
-from .base import AppReport, ControlApplication
+from .base import ControlApplication
 
 RoutingCallback = Callable[[FlowPattern], Future]
 
@@ -46,30 +55,27 @@ class ScaleUpApp(ControlApplication):
         self.wait_for_finalize = wait_for_finalize
 
     def steps(self) -> Generator:
-        # 1. Duplicate configuration from the existing instance onto the new one.
-        self._log(f"cloning configuration {self.existing_mb} -> {self.new_mb}")
-        values = yield self.nb.read_config(self.existing_mb, "*")
-        yield self.nb.write_config(self.new_mb, "*", values)
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        move_steps = txn.migrate(
+            self.existing_mb,
+            self.new_mb,
+            self.patterns,
+            clone_configuration=True,
+            reroute=self.update_routing,
+            query_stats=True,
+            wait_for_finalize=self.wait_for_finalize,
+        )
+        handle = txn.commit()
+        yield handle.done
 
-        moved_records = []
-        for pattern in self.patterns:
-            # 2. Query how much per-flow state exists for this subnet.
-            stats = yield self.nb.stats(self.existing_mb, pattern)
-            self._log(f"stats for {pattern!r}: {stats}")
-            # 3. Move the per-flow state for the flows being re-balanced.
-            handle = self.nb.move_internal(self.existing_mb, self.new_mb, pattern)
-            record = yield handle.completed
-            moved_records.append(record)
+        moved_records = [step.handle.record for step in move_steps]
+        for pattern, record in zip(self.patterns, moved_records):
             self._log(
                 f"moved {record.chunks_transferred} chunks for {pattern!r} "
                 f"in {record.duration:.4f}s ({record.events_forwarded} events forwarded)"
             )
-            # 4. Route the moved flows to the new instance.
-            yield self.update_routing(pattern)
-            self._log(f"routing updated for {pattern!r}")
-            if self.wait_for_finalize:
-                yield handle.finalized
-                self._log(f"source state deleted for {pattern!r}")
+        self.report.details["transaction"] = handle.aggregate()
         self.report.details["moves"] = moved_records
         self.report.details["chunks_moved"] = sum(r.chunks_transferred for r in moved_records)
         self.report.details["events_forwarded"] = sum(r.events_forwarded for r in moved_records)
@@ -101,27 +107,23 @@ class ScaleDownApp(ControlApplication):
         self.wait_for_finalize = wait_for_finalize
 
     def steps(self) -> Generator:
-        wildcard = FlowPattern.wildcard()
-        # 1. Transfer the per-flow reporting/supporting state for all flows.
-        self._log(f"moving all per-flow state {self.spare_mb} -> {self.remaining_mb}")
-        move = self.nb.move_internal(self.spare_mb, self.remaining_mb, wildcard)
-        move_record = yield move.completed
-        # 2. Merge the shared reporting (and supporting) state.
-        self._log(f"merging shared state {self.spare_mb} -> {self.remaining_mb}")
-        merge = self.nb.merge_internal(self.spare_mb, self.remaining_mb)
-        merge_record = yield merge.completed
-        # 3. Route flows to the remaining instance.
-        yield self.update_routing(wildcard)
-        self._log("routing updated to the remaining instance")
-        if self.wait_for_finalize:
-            # Wait until both operations have fully finalised (source state deleted,
-            # transfer markers cleared) before tearing the spare instance down.
-            yield [move.finalized, merge.finalized]
-            self._log("state deleted at the spare instance and transfers ended")
-        # 4. Terminate the unneeded instance.
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        drain_steps = txn.drain(
+            self.spare_mb,
+            self.remaining_mb,
+            reroute=self.update_routing,
+            terminate=self.terminate,
+            wait_for_finalize=self.wait_for_finalize,
+        )
+        handle = txn.commit()
+        yield handle.done
+
+        move_record = drain_steps["move"].handle.record
+        merge_record = drain_steps["merge"].handle.record
         if self.terminate is not None:
-            self.terminate()
             self._log(f"terminated {self.spare_mb}")
+        self.report.details["transaction"] = handle.aggregate()
         self.report.details["move"] = move_record
         self.report.details["merge"] = merge_record
         self.report.details["chunks_moved"] = move_record.chunks_transferred
@@ -149,27 +151,24 @@ class RebalanceApp(ControlApplication):
         self.update_routing = update_routing
 
     def steps(self) -> Generator:
-        # Measure load (resident per-flow state) at every replica.
-        loads = {}
-        for replica in self.replicas:
-            stats = yield self.nb.stats(replica, None)
-            loads[replica] = stats.get("perflow_supporting", 0) + stats.get("perflow_reporting", 0)
-        self.report.details["loads_before"] = dict(loads)
-        busiest = max(loads, key=loads.get)
-        idlest = min(loads, key=loads.get)
-        if busiest == idlest or loads[busiest] - loads[idlest] < 2:
+        txn = self.nb.transaction()
+        txn.observer = self._log
+        step = txn.rebalance(self.replicas, self.patterns_by_replica, self.update_routing)
+        handle = txn.commit()
+        yield handle.done
+
+        detail = step.record.detail
+        self.report.details["loads_before"] = dict(detail.get("loads_before", {}))
+        if detail.get("balanced"):
             self._log("load already balanced; nothing to do")
             return self.report
-        pattern = self.patterns_by_replica.get(busiest)
-        if pattern is None:
-            self._log(f"no re-balance pattern configured for {busiest}")
+        if "no_pattern_for" in detail:
+            self._log(f"no re-balance pattern configured for {detail['no_pattern_for']}")
             return self.report
-        pattern = pattern if isinstance(pattern, FlowPattern) else FlowPattern.parse(pattern)
-        self._log(f"moving {pattern!r} from {busiest} to {idlest}")
-        handle = self.nb.move_internal(busiest, idlest, pattern)
-        record = yield handle.completed
-        yield self.update_routing(idlest, pattern)
-        self.report.details["moved_from"] = busiest
-        self.report.details["moved_to"] = idlest
+        record = step.handle.record
+        self._log(f"moved {record.chunks_transferred} chunks {detail['moved_from']} -> {detail['moved_to']}")
+        self.report.details["transaction"] = handle.aggregate()
+        self.report.details["moved_from"] = detail["moved_from"]
+        self.report.details["moved_to"] = detail["moved_to"]
         self.report.details["chunks_moved"] = record.chunks_transferred
         return self.report

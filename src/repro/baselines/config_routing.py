@@ -17,13 +17,12 @@ shows two consequences:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, Sequence
 
 import numpy as np
 
 from ..apps.base import ControlApplication
 from ..apps.scenarios import REMigrationScenario
-from ..core.flowspace import FlowPattern
 from ..traffic.distributions import fraction_exceeding
 from ..traffic.records import Trace
 

@@ -21,7 +21,6 @@ from typing import Generator, List, Optional
 from ..apps.base import ControlApplication
 from ..apps.scenarios import TwoInstanceScenario
 from ..core.flowspace import FlowPattern
-from ..net.simulator import Future
 
 
 @dataclass

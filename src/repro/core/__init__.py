@@ -9,12 +9,18 @@ from .errors import (
     MiddleboxError,
     NetworkError,
     OpenMBError,
+    OperationAbortedError,
     OperationError,
+    PatternError,
     ProtocolError,
     SealError,
     SimulationError,
+    SpecError,
     StateError,
+    TransactionAbortedError,
+    TransactionError,
     UnknownMiddleboxError,
+    ValidationError,
 )
 from .events import Event, EventCode, EventFilter
 from .flowspace import FlowKey, FlowPattern, IPv4Prefix
@@ -32,6 +38,7 @@ from .state import (
     state_class,
 )
 from .stats import ControllerStats
+from .transaction import StepRecord, StepStatus, Transaction, TransactionHandle
 from .transfer import TransferGuarantee, TransferSpec
 
 __all__ = [
@@ -61,6 +68,10 @@ __all__ = [
     "StateScope",
     "state_class",
     "ControllerStats",
+    "StepRecord",
+    "StepStatus",
+    "Transaction",
+    "TransactionHandle",
     "TransferGuarantee",
     "TransferSpec",
     "OpenMBError",
@@ -70,8 +81,14 @@ __all__ = [
     "SealError",
     "ProtocolError",
     "OperationError",
+    "OperationAbortedError",
     "MiddleboxError",
     "UnknownMiddleboxError",
     "NetworkError",
     "SimulationError",
+    "ValidationError",
+    "PatternError",
+    "SpecError",
+    "TransactionError",
+    "TransactionAbortedError",
 ]

@@ -16,15 +16,16 @@ northbound API) and middleboxes (which speak the southbound message protocol):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..net.simulator import Future, Simulator
 from . import messages
 from .channel import DEFAULT_CONTROL_BANDWIDTH, DEFAULT_CONTROL_LATENCY, ControlChannel
-from .errors import OperationError, UnknownMiddleboxError
-from .events import Event, EventCode
-from .flowspace import FlowPattern
+from .errors import OperationAbortedError, OperationError, UnknownMiddleboxError
+from .events import Event
+from .flowspace import FlowKey, FlowPattern
 from .messages import Message, MessageType
 from .operations import (
     CloneOperation,
@@ -32,7 +33,6 @@ from .operations import (
     MoveOperation,
     OperationHandle,
     OperationRecord,
-    OperationType,
     _StatefulOperation,
 )
 from .southbound import MiddleboxInterface, SouthboundAgent
@@ -83,10 +83,19 @@ class MBController:
         self._active_by_src: Dict[str, List[_StatefulOperation]] = {}
         #: Application subscribers for introspection events.
         self._event_subscribers: List[Callable[[Event], None]] = []
-        #: (event id, destination) pairs already replayed, so an event routed to
-        #: several concurrent operations (e.g. a move and a merge sharing the same
-        #: source) is replayed at the destination exactly once.
-        self._forwarded_events: set = set()
+        #: Monotonic sequence tokens stamped on PUT and REPROCESS messages; the
+        #: relative order of a flow's last install and an event's last replay
+        #: decides whether the event must be replayed (again).
+        self._transfer_seq = itertools.count(1)
+        #: (event id, destination) -> sequence token of the most recent replay.
+        #: An event routed to several concurrent operations (e.g. a move and a
+        #: merge sharing the same source) is replayed once per state install —
+        #: usually exactly once, but a replay is *re-issued* when a later state
+        #: chunk overwrote the flow's state at the destination.
+        self._forwarded_events: Dict[Tuple[int, str], int] = {}
+        #: (destination, canonical flow key) -> sequence token of the last
+        #: ACKed per-flow state install at that destination.
+        self._installed_state: Dict[Tuple[str, FlowKey], int] = {}
         #: Simulated controller CPU: the time at which it next becomes free.
         self._cpu_free_at = 0.0
 
@@ -222,19 +231,73 @@ class MBController:
         """Register an application callback for introspection events."""
         self._event_subscribers.append(callback)
 
-    def forward_event(self, dst_mb: str, event: Event, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
-        """Replay *event*'s packet at *dst_mb*, at most once per (event, destination).
+    def next_transfer_seq(self) -> int:
+        """Reserve the next transfer sequence token (stamped on PUT/REPROCESS)."""
+        return next(self._transfer_seq)
 
-        Returns True when the re-process message was actually sent.
+    def note_perflow_installed(
+        self, dst_mb: str, keys: Iterable[FlowKey], *, operation=None
+    ) -> None:
+        """Record that per-flow state for *keys* was installed (put ACKed) at *dst_mb*.
+
+        Replays of an event are suppressed only while no install for the
+        event's flow happened after the last replay; stamping installs here is
+        what lets :meth:`forward_event` re-issue a replay whose effect a later
+        chunk overwrote.
+        """
+        for key in keys:
+            token = (dst_mb, key)
+            self._installed_state[token] = next(self._transfer_seq)
+            if operation is not None:
+                operation._install_tokens.add(token)
+
+    def forward_event(self, dst_mb: str, event: Event, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
+        """Replay *event*'s packet at *dst_mb*, exactly once per state install.
+
+        Returns True when the re-process message was actually sent.  The
+        common case is one replay per (event, destination): concurrent
+        operations sharing a destination (e.g. a move and a merge with the
+        same source) do not double-replay.  The exception closes the
+        cross-operation coordination bug: when a per-flow state chunk was
+        installed *after* the event's last replay, that chunk overwrote the
+        replayed update at the destination, so the replay is issued again —
+        with the shared-state component stripped, because shared puts merge
+        (instead of overwriting) and the earlier replay's shared update
+        therefore survived.
+
         ``on_reply`` routes the destination's ACK back to the caller
         (order-preserving transfers wait for replay ACKs before releasing a
         flow's packet hold).
         """
         token = (event.event_id, dst_mb)
-        if token in self._forwarded_events:
-            return False
-        self._forwarded_events.add(token)
-        self.send(dst_mb, messages.reprocess_message(dst_mb, event), on_reply=on_reply)
+        last_replay = self._forwarded_events.get(token)
+        shared_override: Optional[bool] = None
+        if last_replay is not None:
+            key = event.key.bidirectional() if event.key is not None else None
+            installed = self._installed_state.get((dst_mb, key), 0) if key is not None else 0
+            if last_replay >= installed:
+                return False  # nothing installed since the last replay: still applied
+            shared_override = False  # re-replay only the overwritten per-flow component
+        seq = next(self._transfer_seq)
+        self._forwarded_events[token] = seq
+
+        def on_replay_reply(message: Message) -> None:
+            # Re-stamp the token when the destination ACKs the replay: ACKs
+            # travel back on the same FIFO channel the puts' ACKs use, so
+            # token order now mirrors the order the destination actually
+            # *applied* replay vs. chunk.  Without this, a replay sent in a
+            # put's send→ACK window (but applied after the chunk) would look
+            # older than the install and be re-issued — a double apply.
+            if message.type == MessageType.ACK and self._forwarded_events.get(token) == seq:
+                self._forwarded_events[token] = next(self._transfer_seq)
+            if on_reply is not None:
+                on_reply(message)
+
+        self.send(
+            dst_mb,
+            messages.reprocess_message(dst_mb, event, shared=shared_override, seq=seq),
+            on_reply=on_replay_reply,
+        )
         return True
 
     # -- simple northbound operations --------------------------------------------------------------------
@@ -377,25 +440,50 @@ class MBController:
         if future.exception is not None:
             self.stats.operations_failed += 1
 
+    def abort_operation(self, handle: OperationHandle, reason: str = "operation aborted") -> bool:
+        """Abort the operation behind *handle* (transaction rollback support).
+
+        In-flight operations are failed (releasing any destination packet
+        holds); completed-but-unfinalised operations have their destructive
+        post-quiescence step cancelled so the source keeps its state.  Returns
+        True when the abort changed anything.
+        """
+        operation = handle._operation
+        if operation is None:
+            return False
+        return operation.abort(OperationAbortedError(reason))
+
     def _operation_finished(self, operation: _StatefulOperation) -> None:
         """Called by an operation when it has fully finalised (or failed)."""
         active = self._active_by_src.get(operation.src, [])
         if operation in active:
             active.remove(operation)
-        # Prune the operation's replay-dedup tokens so _forwarded_events stays
-        # bounded.  A concurrent operation with the same destination may still
-        # be holding the same event in its buffer (it forwards only when its
-        # flow is ACKed), so tokens for a destination that another active
-        # operation targets are inherited by that operation instead of being
-        # dropped — they are pruned when it finishes.
+        # Prune the operation's replay-dedup and install-sequence tokens so
+        # _forwarded_events / _installed_state stay bounded.  A concurrent
+        # operation with the same destination may still be holding the same
+        # event in its buffer (it forwards only when its flow is ACKed), so
+        # tokens for a destination another active operation targets are
+        # inherited by that operation instead of being dropped — they are
+        # pruned when it finishes.
         still_active = [op for ops in self._active_by_src.values() for op in ops]
+
+        def heir_for(dst: str) -> Optional[_StatefulOperation]:
+            return next((op for op in still_active if op.dst == dst), None)
+
         for token in operation._forward_tokens:
-            heir = next((op for op in still_active if op.dst == token[1]), None)
+            heir = heir_for(token[1])
             if heir is not None:
                 heir._forward_tokens.add(token)
             else:
-                self._forwarded_events.discard(token)
+                self._forwarded_events.pop(token, None)
         operation._forward_tokens.clear()
+        for token in operation._install_tokens:
+            heir = heir_for(token[0])
+            if heir is not None:
+                heir._install_tokens.add(token)
+            else:
+                self._installed_state.pop(token, None)
+        operation._install_tokens.clear()
         self.stats.archive(operation.record)
 
     # -- convenience ---------------------------------------------------------------------------------------

@@ -36,8 +36,46 @@ class ProtocolError(OpenMBError):
     """A southbound message could not be encoded, decoded, or dispatched."""
 
 
+class ValidationError(OpenMBError, ValueError):
+    """A northbound argument could not be parsed or validated.
+
+    Derives from :class:`ValueError` as well so callers that predate the typed
+    hierarchy (``except ValueError``) keep working.
+    """
+
+
+class PatternError(ValidationError):
+    """A HeaderFieldList / :class:`~repro.core.flowspace.FlowPattern` argument
+    was malformed (unknown field name, bad IP or port value)."""
+
+
+class SpecError(ValidationError):
+    """A :class:`~repro.core.transfer.TransferSpec` argument was malformed
+    (unknown guarantee string, unknown mapping key, out-of-range field)."""
+
+
 class OperationError(OpenMBError):
     """A northbound operation (move/clone/merge) failed or was aborted."""
+
+
+class OperationAbortedError(OperationError):
+    """An in-flight operation was aborted (e.g. by a failing transaction)."""
+
+
+class TransactionError(OperationError):
+    """A northbound transaction was misused (re-commit, unknown step reference)."""
+
+
+class TransactionAbortedError(OperationError):
+    """A transaction step failed; the whole transaction was rolled back.
+
+    ``step`` names the failing step and ``cause`` carries its original error.
+    """
+
+    def __init__(self, message: str, *, step: str = "", cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.step = step
+        self.cause = cause
 
 
 class MiddleboxError(OpenMBError):

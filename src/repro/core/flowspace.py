@@ -195,6 +195,8 @@ class FlowPattern:
         ``"field=value"`` strings (``["nw_src=1.1.1.0/24"]``), a single such
         string, or ``None`` / ``[]`` / ``""`` for the wildcard pattern.
         """
+        from .errors import PatternError
+
         if fields is None:
             return cls.wildcard()
         if isinstance(fields, str):
@@ -212,14 +214,20 @@ class FlowPattern:
         kwargs: dict = {}
         for name, value in items.items():
             if name not in FIELDS:
-                raise ValueError(f"unknown header field {name!r}")
+                raise PatternError(f"unknown header field {name!r} (expected one of {', '.join(FIELDS)})")
             if value is None or value == "*":
                 continue
             if name in ("nw_proto", "tp_src", "tp_dst"):
-                kwargs[name] = int(value)
+                try:
+                    kwargs[name] = int(value)
+                except (TypeError, ValueError):
+                    raise PatternError(f"field {name!r} requires an integer, got {value!r}") from None
             else:
                 kwargs[name] = str(value)
-        return cls(**kwargs)
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:  # bad IP address / prefix in an address field
+            raise PatternError(f"malformed pattern {items!r}: {exc}") from exc
 
     # -- field access ---------------------------------------------------------
 

@@ -196,26 +196,35 @@ def get_perflow(mb: str, role: StateRole, pattern: FlowPattern, *, transfer: boo
     )
 
 
-def put_perflow(mb: str, chunk: StateChunk, *, hold: bool = False) -> Message:
+def put_perflow(mb: str, chunk: StateChunk, *, hold: bool = False, seq: Optional[int] = None) -> Message:
     """Install one per-flow chunk; ``hold=True`` (order-preserving transfers)
     makes the destination queue fresh packets for the flow until its
-    TRANSFER_RELEASE arrives."""
+    TRANSFER_RELEASE arrives.  ``seq`` is the controller's transfer sequence
+    token, stamped for wire-level observability; the authoritative
+    replay-vs-install ordering uses the controller's ACK-time bookkeeping
+    (see :meth:`MBController.forward_event`)."""
     body: Dict[str, Any] = {"chunk": encode_chunk(chunk)}
     if hold:
         body["hold"] = True
+    if seq is not None:
+        body["seq"] = seq
     return Message(MessageType.PUT_PERFLOW, mb=mb, body=body)
 
 
-def put_perflow_batch(mb: str, chunks: list, *, hold: bool = False) -> Message:
+def put_perflow_batch(mb: str, chunks: list, *, hold: bool = False, seq: Optional[int] = None) -> Message:
     """Install several per-flow chunks with a single message and a single ACK.
 
     Batching amortises the controller's per-message handling cost across
     ``len(chunks)`` chunks — the bulk-transfer optimization of the
-    :class:`~repro.core.transfer.TransferSpec` pipeline.
+    :class:`~repro.core.transfer.TransferSpec` pipeline.  ``seq`` carries the
+    controller's transfer sequence token (wire-level observability; the
+    controller's ACK-time bookkeeping is authoritative for ordering).
     """
     body: Dict[str, Any] = {"chunks": [encode_chunk(chunk) for chunk in chunks]}
     if hold:
         body["hold"] = True
+    if seq is not None:
+        body["seq"] = seq
     return Message(MessageType.PUT_PERFLOW_BATCH, mb=mb, body=body)
 
 
@@ -360,11 +369,24 @@ def decode_event(message: Message) -> Event:
     )
 
 
-def reprocess_message(mb: str, event: Event) -> Message:
-    """Build the message the controller sends to the destination MB to replay a packet."""
-    body: Dict[str, Any] = {"shared": event.shared}
+def reprocess_message(
+    mb: str, event: Event, *, shared: Optional[bool] = None, seq: Optional[int] = None
+) -> Message:
+    """Build the message the controller sends to the destination MB to replay a packet.
+
+    ``shared`` overrides the event's own shared flag: a *re*-replay issued
+    because a later state chunk overwrote the flow's per-flow state must not
+    re-apply the shared-state component a previous replay already applied
+    (shared puts merge, so that component survived).  ``seq`` is the
+    controller's transfer sequence token for this replay (wire-level
+    observability; the controller re-stamps the token at replay-ACK time for
+    the authoritative ordering against state installs).
+    """
+    body: Dict[str, Any] = {"shared": event.shared if shared is None else shared}
     if event.key is not None:
         body["key"] = event.key.as_dict()
     if event.packet is not None:
         body["packet"] = encode_packet(event.packet)
+    if seq is not None:
+        body["seq"] = seq
     return Message(MessageType.REPROCESS_PACKET, mb=mb, body=body)

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Union
 
 from ..net.simulator import Future
 from .controller import MBController
-from .events import Event
 from .flowspace import FlowPattern
 from .operations import OperationHandle
 from .transfer import TransferGuarantee, TransferSpec
@@ -42,6 +41,24 @@ class NorthboundAPI:
     def __init__(self, controller: MBController) -> None:
         self.controller = controller
 
+    # -- transactions ----------------------------------------------------------------
+
+    def transaction(self) -> "Transaction":
+        """Begin a composite northbound transaction.
+
+        Returns a :class:`~repro.core.transaction.Transaction` builder on
+        which the application declares steps — ``clone_config``, ``move``,
+        ``clone``, ``merge``, ``reroute``, ``barrier`` and the composite verbs
+        ``migrate`` / ``rebalance`` / ``drain`` — and then calls ``commit()``
+        to run them with coordinated re-routing (routes install once the
+        relevant per-flow put-ACKs arrive) and all-or-nothing failure
+        semantics.  The six paper primitives below are each equivalent to a
+        single-step transaction.
+        """
+        from .transaction import Transaction
+
+        return Transaction(self)
+
     # -- configuration ---------------------------------------------------------------
 
     def read_config(self, src_mb: str, key: str = "*") -> Future:
@@ -64,23 +81,39 @@ class NorthboundAPI:
         return self.controller.write_config(dst_mb, key, list(values))
 
     def clone_config(self, src_mb: str, dst_mb: str, key: str = "*") -> Future:
-        """Composition of readConfig and writeConfig (the paper's cloneConfig)."""
+        """Composition of readConfig and writeConfig (the paper's cloneConfig).
+
+        Every failure path resolves the returned future: a failed (or
+        cancelled) read propagates its error, and an error raised while
+        issuing the write — e.g. the destination was unregistered between the
+        read and the write — fails the future instead of leaking an unresolved
+        simulator event (and corrupting the read future's callback chain).
+        """
         result = self.controller.sim.event(name=f"cloneConfig({src_mb}->{dst_mb})")
 
         def on_read(read_future: Future) -> None:
+            if result.done:
+                return  # already cancelled/failed by the caller
             if read_future.exception is not None:
                 result.fail(read_future.exception)
                 return
             values = read_future.result
-            if key in ("*", ""):
-                write_future = self.controller.write_config_tree(dst_mb, values)
-            else:
-                write_future = self.controller.write_config(dst_mb, key, list(values))
+            try:
+                if key in ("*", ""):
+                    write_future = self.controller.write_config_tree(dst_mb, values)
+                else:
+                    write_future = self.controller.write_config(dst_mb, key, list(values))
+            except Exception as exc:
+                result.fail(exc)
+                return
             write_future.add_done_callback(
                 lambda wf: result.fail(wf.exception) if wf.exception is not None else result.succeed(values)
             )
 
-        self.controller.read_config(src_mb, key).add_done_callback(on_read)
+        try:
+            self.controller.read_config(src_mb, key).add_done_callback(on_read)
+        except Exception as exc:
+            result.fail(exc)
         return result
 
     # -- informational ----------------------------------------------------------------

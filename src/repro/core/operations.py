@@ -107,16 +107,27 @@ class OperationRecord:
 class OperationHandle:
     """What a control application gets back from a stateful northbound call.
 
-    ``completed`` resolves when the operation returns in the paper's sense
-    (all puts ACKed, and — for order-preserving transfers — every moved flow
-    released); ``finalized`` resolves after the post-quiescence step (delete
-    at the source for moves, transfer-end for clone/merge).
+    Three futures resolve in order:
+
+    * ``state_installed`` — every state chunk the source exported has been put
+      and ACKed at the destination.  This is the earliest point at which
+      re-routing the affected flows is safe, and it is what the transaction
+      coordinator orders route installation on (re-process events absorb the
+      remaining races);
+    * ``completed`` — the operation returns in the paper's sense (all puts
+      ACKed, and — for order-preserving transfers — every moved flow
+      released);
+    * ``finalized`` — the post-quiescence step ran (delete at the source for
+      moves, transfer-end for clone/merge).
     """
 
     def __init__(self, sim, record: OperationRecord) -> None:
         self.record = record
+        self.state_installed: Future = sim.event(name=f"{record.type.value}#{record.op_id}.installed")
         self.completed: Future = sim.event(name=f"{record.type.value}#{record.op_id}")
         self.finalized: Future = sim.event(name=f"{record.type.value}#{record.op_id}.finalized")
+        #: Back-reference for transaction abort; set by the operation itself.
+        self._operation: Optional["_StatefulOperation"] = None
 
     @property
     def op_id(self) -> int:
@@ -155,13 +166,17 @@ class _StatefulOperation:
             early_release=self.spec.early_release,
         )
         self.handle = OperationHandle(self.sim, self.record)
+        self.handle._operation = self
         self._last_event_at = self.sim.now
         self._finalize_scheduled = False
         self._finalized = False
         self._archived = False
-        #: (event id, destination) dedup tokens this operation added; pruned
-        #: from the controller when the operation finishes.
+        #: (event id, destination) replay-dedup tokens this operation added;
+        #: pruned from the controller when the operation finishes.
         self._forward_tokens: Set[Tuple[int, str]] = set()
+        #: (destination, flow key) install-sequence tokens this operation
+        #: stamped; pruned alongside the replay tokens.
+        self._install_tokens: Set[Tuple[str, FlowKey]] = set()
 
     # -- hooks implemented by subclasses -------------------------------------------
 
@@ -179,6 +194,8 @@ class _StatefulOperation:
     def _complete(self) -> None:
         if self.handle.completed.done:
             return
+        if not self.handle.state_installed.done:
+            self.handle.state_installed.succeed(self.record)
         self.record.completed_at = self.sim.now
         self.handle.completed.succeed(self.record)
         self._arm_quiescence()
@@ -187,11 +204,33 @@ class _StatefulOperation:
         # Cancel any scheduled quiescence finalisation so the operation cannot
         # be archived a second time after failing.
         self._finalized = True
+        if not self.handle.state_installed.done:
+            self.handle.state_installed.fail(exc)
         if not self.handle.completed.done:
             self.handle.completed.fail(exc)
         if not self.handle.finalized.done:
             self.handle.finalized.fail(exc)
         self._finish()
+
+    def abort(self, exc: Exception) -> bool:
+        """Abort on behalf of a failing transaction; returns True when acted.
+
+        An operation still in flight is failed outright (for order-preserving
+        moves this releases the destination's per-flow packet holds via the
+        normal failure cleanup).  An operation that already completed but has
+        not yet finalised has its destructive post-quiescence step (the source
+        delete / transfer-end) cancelled so the source keeps its state.
+        """
+        if self._archived or self._finalized:
+            return False
+        if not self.handle.completed.done:
+            self._fail(exc)
+            return True
+        self._finalized = True
+        if not self.handle.finalized.done:
+            self.handle.finalized.fail(exc)
+        self._finish()
+        return True
 
     def _finish(self) -> None:
         """Hand the operation back to the controller exactly once."""
@@ -326,12 +365,14 @@ class ChunkPipeline:
                     self._queue.popleft()
                     for _ in range(min(self.spec.batch_size, len(self._queue)))
                 ]
-                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold)
+                seq = self.op.controller.next_transfer_seq()
+                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold, seq=seq)
                 keys = tuple(chunk.key.bidirectional() for chunk in batch)
                 self.op.record.batches_sent += 1
             else:
                 chunk = self._queue.popleft()
-                message = messages.put_perflow(self.op.dst, chunk, hold=hold)
+                seq = self.op.controller.next_transfer_seq()
+                message = messages.put_perflow(self.op.dst, chunk, hold=hold, seq=seq)
                 keys = (chunk.key.bidirectional(),)
             self._in_flight += 1
             self.op.controller.send(
@@ -356,6 +397,10 @@ class ChunkPipeline:
             return
         self._in_flight -= 1
         self.op.record.puts_acked += len(keys)
+        # Stamp the install sequence *before* the per-flow flush callbacks run:
+        # replays issued by the guarantee policy below must compare as ordered
+        # after this install (they are applied at the destination after it).
+        self.op.controller.note_perflow_installed(self.op.dst, keys, operation=self.op)
         for canonical in keys:
             remaining = self._pending_chunks.get(canonical, 0) - 1
             if remaining <= 0:
@@ -650,7 +695,15 @@ class MoveOperation(_StatefulOperation):
     def _check_complete(self) -> None:
         if self.handle.completed.done:
             return
-        if not self._gets_complete or not self.pipeline.drained or not self.policy.drained:
+        if not self._gets_complete or not self.pipeline.drained:
+            return
+        if not self.handle.state_installed.done:
+            # Every exported chunk is ACKed at the destination.  Re-routing is
+            # safe from this point on, which is (deliberately) earlier than
+            # ``completed`` for order-preserving transfers: replays and
+            # releases still drain while new routes install.
+            self.handle.state_installed.succeed(self.record)
+        if not self.policy.drained:
             return
         self.policy.on_transfer_drained()
         self._complete()
@@ -767,7 +820,17 @@ class CloneOperation(_StatefulOperation):
             self._complete()
 
     def on_event(self, event: Event) -> None:
-        """Apply the spec's guarantee to shared-state events raised mid-transfer."""
+        """Apply the spec's guarantee to shared-state events raised mid-transfer.
+
+        Only events whose packet updated *shared* state in transfer belong to
+        a clone/merge.  A pure per-flow re-process event (raised because a
+        concurrent move marked the flow) is ignored here: replaying it is the
+        move's responsibility, and doing it from this operation used to poison
+        the replay dedup before the move's put was ACKed (the cross-operation
+        coordination bug).
+        """
+        if not event.shared:
+            return
         self.record.events_received += 1
         self._touch_event_clock()
         if self.spec.guarantee is TransferGuarantee.NO_GUARANTEE:

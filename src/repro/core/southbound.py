@@ -18,7 +18,7 @@ Two pieces live here:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..net.packet import Packet

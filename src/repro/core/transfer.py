@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Union
 
 
 class TransferGuarantee(enum.Enum):
@@ -115,23 +115,41 @@ class TransferSpec:
         """Coerce a user-supplied value into a spec.
 
         Accepts an existing spec, a guarantee (enum or its string value), a
-        mapping of constructor fields, or None (the default spec).
+        mapping of constructor fields, or None (the default spec).  Malformed
+        input raises :class:`~repro.core.errors.SpecError`.
         """
+        from .errors import SpecError
+
+        def guarantee_of(raw: object) -> TransferGuarantee:
+            if isinstance(raw, TransferGuarantee):
+                return raw
+            try:
+                return TransferGuarantee(raw)
+            except ValueError:
+                known = ", ".join(g.value for g in TransferGuarantee)
+                raise SpecError(f"unknown transfer guarantee {raw!r} (expected one of {known})") from None
+
         if value is None:
             return cls.default()
         if isinstance(value, cls):
             return value
-        if isinstance(value, TransferGuarantee):
-            return cls(guarantee=value)
-        if isinstance(value, str):
-            return cls(guarantee=TransferGuarantee(value))
+        if isinstance(value, (TransferGuarantee, str)):
+            return cls(guarantee=guarantee_of(value))
         if isinstance(value, dict):
             fields = dict(value)
-            guarantee = fields.pop("guarantee", TransferGuarantee.LOSS_FREE)
-            if isinstance(guarantee, str):
-                guarantee = TransferGuarantee(guarantee)
-            return cls(guarantee=guarantee, **fields)
-        raise ValueError(f"cannot interpret {value!r} as a TransferSpec")
+            guarantee = guarantee_of(fields.pop("guarantee", TransferGuarantee.LOSS_FREE))
+            known_fields = {"parallelism", "batch_size", "early_release"}
+            unknown = sorted(set(fields) - known_fields)
+            if unknown:
+                raise SpecError(
+                    f"unknown TransferSpec field(s) {', '.join(map(repr, unknown))} "
+                    f"(expected guarantee, {', '.join(sorted(known_fields))})"
+                )
+            try:
+                return cls(guarantee=guarantee, **fields)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"malformed TransferSpec mapping {value!r}: {exc}") from exc
+        raise SpecError(f"cannot interpret {value!r} as a TransferSpec")
 
     # -- derived properties ------------------------------------------------------------
 

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from ..core.flowspace import FlowKey, FlowPattern
 from ..core.southbound import ProcessingCosts
-from ..net.packet import Packet, SYN
+from ..net.packet import Packet
 from ..net.simulator import Simulator
 from .base import Middlebox, ProcessResult, Verdict
 

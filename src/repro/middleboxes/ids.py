@@ -24,7 +24,7 @@ The reproduction keeps the properties those experiments rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.flowspace import PROTO_TCP, FlowKey
 from ..core.southbound import ProcessingCosts

@@ -11,7 +11,7 @@ default values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.errors import MiddleboxError
 from ..core.flowspace import FlowKey

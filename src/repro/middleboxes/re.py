@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import MiddleboxError
-from ..core.flowspace import FlowKey, FlowPattern, IPv4Prefix
+from ..core.flowspace import IPv4Prefix
 from ..core.southbound import ProcessingCosts
 from ..core.state import SharedStateSlot, StateRole
 from ..net.packet import Packet

@@ -9,7 +9,7 @@ without perturbing the traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.flowspace import FlowPattern

@@ -23,7 +23,7 @@ from ..core.errors import NetworkError
 from ..core.flowspace import FlowPattern
 from .flowtable import Action, FlowRule
 from .packet import Packet
-from .simulator import Future, Simulator
+from .simulator import Future, Simulator, all_of
 from .switch import Switch
 from .topology import Node, Topology
 
@@ -43,6 +43,42 @@ class RouteHandle:
     path: List[str]
     rules: List[FlowRule] = field(default_factory=list)
     installed: Optional[Future] = None
+
+
+@dataclass
+class RouteSwap:
+    """Bookkeeping for one atomic multi-pattern route swap.
+
+    ``routes`` are the newly installed routes (one per pattern/path pair) and
+    ``replaced`` the routes scheduled for removal once every new rule has been
+    applied (make-before-break).  ``rollback()`` undoes the swap: the new
+    routes are removed and, if the replaced routes were already torn down,
+    they are re-installed.
+    """
+
+    controller: "SDNController"
+    routes: List[RouteHandle] = field(default_factory=list)
+    replaced: List[RouteHandle] = field(default_factory=list)
+    installed: Optional[Future] = None
+    _replaced_removed: bool = False
+    _rolled_back: bool = False
+
+    def rollback(self) -> None:
+        """Remove the swap's new routes and restore any replaced ones."""
+        if self._rolled_back:
+            return
+        self._rolled_back = True
+        for handle in self.routes:
+            self.controller.remove_route(handle)
+        if self._replaced_removed:
+            for handle in self.replaced:
+                restored = self.controller.install_route(
+                    handle.pattern, handle.path, priority=handle.rules[0].priority if handle.rules else 100
+                )
+                handle.route_id = restored.route_id
+                handle.cookie = restored.cookie
+                handle.rules = restored.rules
+                handle.installed = restored.installed
 
 
 class SDNController:
@@ -94,12 +130,47 @@ class SDNController:
         applied its rule.
         """
         names = [node.name if isinstance(node, Node) else node for node in path]
+        route_id = next(_route_ids)
+        prepared = self._prepare_rules(pattern, names, priority, f"route-{route_id}")
+        handle, pending = self._register_route(route_id, pattern, names, prepared)
+        if bidirectional:
+            reverse = self.install_route(
+                self._reverse_pattern(pattern), list(reversed(names)), priority=priority
+            )
+            handle.rules.extend(reverse.rules)
+            if reverse.installed is not None:
+                pending.append(reverse.installed)
+        handle.installed = all_of(self.sim, pending)
+        return handle
+
+    def _register_route(
+        self, route_id: int, pattern: FlowPattern, names: List[str], prepared: List[tuple]
+    ) -> tuple:
+        """Push pre-validated (switch, rule) pairs and register one route.
+
+        Returns ``(handle, pending)``; the caller combines *pending* into the
+        handle's ``installed`` future (it may add more, e.g. a reverse route).
+        """
+        handle = RouteHandle(route_id=route_id, cookie=f"route-{route_id}", pattern=pattern, path=list(names))
+        pending: List[Future] = []
+        for switch, rule in prepared:
+            pending.append(self._push_rule(switch, rule))
+            handle.rules.append(rule)
+        self.routes[route_id] = handle
+        self.routing_updates += 1
+        return handle, pending
+
+    def _prepare_rules(
+        self, pattern: FlowPattern, names: List[str], priority: int, cookie: str
+    ) -> List[tuple]:
+        """Validate *names* and build the (switch, rule) pairs for one route.
+
+        Raises :class:`NetworkError` without touching any switch when the path
+        is malformed — the validation half of an atomic swap.
+        """
         if len(names) < 2:
             raise NetworkError("a route needs at least two nodes")
-        route_id = next(_route_ids)
-        cookie = f"route-{route_id}"
-        handle = RouteHandle(route_id=route_id, cookie=cookie, pattern=pattern, path=list(names))
-        pending: List[Future] = []
+        prepared: List[tuple] = []
         for previous, current, following in self._hops(names):
             node = self.topology.get(current)
             if not isinstance(node, Switch):
@@ -113,21 +184,57 @@ class SDNController:
                 priority=priority,
                 cookie=cookie,
             )
-            pending.append(self._push_rule(node, rule))
-            handle.rules.append(rule)
-        if bidirectional:
-            reverse = self.install_route(
-                self._reverse_pattern(pattern), list(reversed(names)), priority=priority
-            )
-            handle.rules.extend(reverse.rules)
-            if reverse.installed is not None:
-                pending.append(reverse.installed)
-        from .simulator import all_of
+            prepared.append((node, rule))
+        return prepared
 
-        handle.installed = all_of(self.sim, pending)
-        self.routes[route_id] = handle
-        self.routing_updates += 1
-        return handle
+    def swap_routes(
+        self,
+        changes: Sequence[tuple],
+        *,
+        priority: int = 100,
+        replace: Sequence[RouteHandle] = (),
+    ) -> RouteSwap:
+        """Atomically install routes for several patterns, replacing old ones.
+
+        ``changes`` is a sequence of ``(pattern, path)`` pairs (*path* as in
+        :meth:`install_route`).  Atomicity has two halves:
+
+        * **validation first** — every pair is resolved to concrete switch
+          rules before any rule is pushed, so a malformed path leaves the
+          network untouched;
+        * **make-before-break** — the routes in ``replace`` are removed only
+          once every new rule has been applied, so no pattern is ever without
+          a route during the swap.
+
+        Returns a :class:`RouteSwap` whose ``installed`` future completes when
+        every switch applied its rules and whose ``rollback()`` removes the
+        new routes (re-installing replaced ones if they were already removed).
+        """
+        prepared: List[tuple] = []
+        for pattern, path in changes:
+            names = [node.name if isinstance(node, Node) else node for node in path]
+            route_id = next(_route_ids)
+            rules = self._prepare_rules(pattern, names, priority, f"route-{route_id}")
+            prepared.append((pattern, names, route_id, rules))
+
+        swap = RouteSwap(controller=self, replaced=list(replace))
+        pending: List[Future] = []
+        for pattern, names, route_id, rules in prepared:
+            handle, route_pending = self._register_route(route_id, pattern, names, rules)
+            handle.installed = all_of(self.sim, route_pending)
+            pending.extend(route_pending)
+            swap.routes.append(handle)
+        swap.installed = all_of(self.sim, pending)
+
+        def break_old(future: Future) -> None:
+            if future.exception is not None or swap._rolled_back:
+                return
+            for old in swap.replaced:
+                self.remove_route(old)
+            swap._replaced_removed = True
+
+        swap.installed.add_done_callback(break_old)
+        return swap
 
     @staticmethod
     def _hops(names: List[str]):

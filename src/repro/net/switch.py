@@ -8,7 +8,7 @@ Split/Merge baseline suspends, and keeps counters used by the evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.flowspace import FlowPattern

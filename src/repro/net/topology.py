@@ -11,7 +11,7 @@ a parallel :mod:`networkx` graph for path computation.  Node types:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import networkx as nx
 

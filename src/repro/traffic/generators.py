@@ -26,11 +26,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.flowspace import PROTO_TCP, PROTO_UDP
 from ..net.packet import ACK, FIN, SYN
 from .distributions import FlowDurationModel, FlowSizeModel
 from .records import Trace, TraceRecord

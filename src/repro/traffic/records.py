@@ -17,7 +17,7 @@ import base64
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List
 
 from ..core.flowspace import PROTO_TCP, FlowKey
 from ..net.packet import Packet

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ControllerConfig, FlowKey, FlowPattern, MBController, NorthboundAPI
+from repro.core import ControllerConfig, FlowKey, MBController, NorthboundAPI
 from repro.middleboxes import IDS, DummyMiddlebox, PassiveMonitor
 from repro.net import Simulator, tcp_packet
 

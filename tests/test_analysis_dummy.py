@@ -13,7 +13,7 @@ from repro.analysis import (
     format_table,
     operation_windows,
 )
-from repro.core import ControllerConfig, FlowPattern, MBController, NorthboundAPI, StateRole
+from repro.core import ControllerConfig, MBController, NorthboundAPI
 from repro.middleboxes import IDS, DummyMiddlebox, PassiveMonitor
 from repro.net import Simulator, tcp_packet
 

@@ -1,6 +1,5 @@
 """Integration tests for the control applications and scenario builders."""
 
-import pytest
 
 from repro.apps import (
     FailureRecoveryApp,

@@ -6,11 +6,10 @@ channel -> southbound agent -> middlebox, and back.
 
 import pytest
 
-from repro.core import ControllerConfig, FlowPattern, MBController, NorthboundAPI
+from repro.core import ControllerConfig, MBController, NorthboundAPI
 from repro.core.errors import OperationError, UnknownMiddleboxError
 from repro.core.operations import OperationType
 from repro.middleboxes import DummyMiddlebox, PassiveMonitor
-from repro.middleboxes.monitor import MonitorStats
 from repro.net import Simulator, tcp_packet
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     ControllerConfig,
-    EventCode,
     FlowPattern,
     MBController,
     NorthboundAPI,

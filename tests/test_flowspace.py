@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.errors import OpenMBError
 from repro.core.flowspace import (
     FIELDS,
     PROTO_TCP,

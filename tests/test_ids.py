@@ -1,6 +1,5 @@
 """Unit tests for the Bro-like IDS."""
 
-import pytest
 
 from repro.core.flowspace import FlowPattern
 from repro.core.state import StateRole
@@ -13,7 +12,7 @@ from repro.middleboxes.ids import (
     ScanTable,
 )
 from repro.net import Simulator, tcp_packet
-from repro.net.packet import ACK, FIN, RST, SYN
+from repro.net.packet import ACK, RST, SYN
 from repro.traffic.generators import FlowSpec, http_flow_records
 
 

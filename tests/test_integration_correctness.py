@@ -7,7 +7,6 @@ instance and through a dynamically re-configured deployment and compare the
 outputs.
 """
 
-import pytest
 
 from repro.analysis import compare_ids_outputs, compare_monitor_statistics
 from repro.apps import PerFlowMigrationApp, ScaleDownApp, ScaleUpApp, build_two_instance_scenario

@@ -8,7 +8,6 @@ from repro.core.southbound import ProcessingCosts
 from repro.core.state import SharedStateSlot, StateRole
 from repro.middleboxes.base import Middlebox, ProcessResult, Verdict
 from repro.net import Simulator, Topology, tcp_packet
-from repro.net.topology import Host
 
 
 class EchoMB(Middlebox):

@@ -1,6 +1,5 @@
 """Unit tests for the PRADS-like passive monitor."""
 
-import pytest
 
 from repro.core.flowspace import FlowPattern
 from repro.core.state import StateRole

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.flowspace import FlowKey, FlowPattern
+from repro.core.flowspace import FlowPattern
 from repro.core.state import StateRole
 from repro.middleboxes.firewall import Firewall, FirewallRule
 from repro.middleboxes.loadbalancer import LoadBalancer

@@ -17,7 +17,7 @@ from repro.net import (
 )
 from repro.net.addresses import SubnetAllocator, mac_for_index, same_subnet
 from repro.net.links import Link
-from repro.net.topology import Host, Node
+from repro.net.topology import Node
 
 
 class _Sink(Node):

@@ -16,7 +16,7 @@ import pytest
 from repro.core import ControllerConfig, MBController, NorthboundAPI, TransferSpec
 from repro.core.errors import OperationError, StateError
 from repro.middleboxes import DummyMiddlebox
-from repro.net import Simulator, tcp_packet
+from repro.net import tcp_packet
 
 
 class FailingDestination(DummyMiddlebox):

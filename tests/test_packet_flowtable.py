@@ -1,10 +1,9 @@
 """Unit tests for packets and flow tables."""
 
-import pytest
 
 from repro.core.flowspace import PROTO_TCP, PROTO_UDP, FlowPattern
 from repro.net.flowtable import Action, ActionType, FlowRule, FlowTable
-from repro.net.packet import ACK, FIN, HEADER_BYTES, SYN, Packet, tcp_packet, udp_packet
+from repro.net.packet import ACK, FIN, HEADER_BYTES, SYN, tcp_packet, udp_packet
 
 
 class TestPacket:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import SimulationError
-from repro.net.simulator import Future, Simulator, all_of
+from repro.net.simulator import Simulator, all_of
 
 
 class TestScheduling:

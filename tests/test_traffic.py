@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.flowspace import PROTO_TCP
 from repro.middleboxes import PassiveMonitor
 from repro.net import Simulator
 from repro.net.packet import ACK, FIN, SYN
