@@ -26,6 +26,7 @@ from .events import Event, EventCode, EventFilter
 from .flowspace import FlowKey, FlowPattern, IPv4Prefix
 from .northbound import NorthboundAPI
 from .operations import OperationHandle, OperationRecord, OperationType
+from .sharding import ControllerShard, ShardCoordinator, ShardRing, ShardStats
 from .southbound import MiddleboxInterface, ProcessingCosts, SouthboundAgent
 from .state import (
     AccessMode,
@@ -59,6 +60,10 @@ __all__ = [
     "MiddleboxInterface",
     "ProcessingCosts",
     "SouthboundAgent",
+    "ControllerShard",
+    "ShardCoordinator",
+    "ShardRing",
+    "ShardStats",
     "AccessMode",
     "PerFlowStateStore",
     "SharedChunk",

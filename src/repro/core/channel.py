@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..net.simulator import Simulator
-from .messages import Message
+from .messages import Message, batch_message
 
 #: Default one-way control-channel latency (seconds): a LAN round trip share.
 DEFAULT_CONTROL_LATENCY = 200e-6
@@ -29,6 +29,10 @@ class ChannelStats:
 
     messages: int = 0
     bytes: int = 0
+    #: BATCH frames among ``messages`` (each counts as one wire message).
+    batches: int = 0
+    #: Requests delivered inside those BATCH frames.
+    framed_messages: int = 0
 
     def record(self, size: int) -> None:
         self.messages += 1
@@ -91,6 +95,24 @@ class ControlChannel:
         if self._mb_handler is None:
             raise RuntimeError(f"channel {self.name} has no middlebox handler bound")
         return self._send(message, self.to_mb, self._mb_handler, "_mb_free_at")
+
+    def send_many_to_middlebox(self, batch: list) -> float:
+        """Deliver several requests as one framed BATCH channel message.
+
+        This is the wire half of the controller's batched southbound
+        dispatch: the channel pays its per-message latency (and one
+        serialisation slot) once for the whole batch instead of once per
+        request.  A single-element batch degenerates to a plain send.
+        Returns the delivery time of the frame.
+        """
+        if not batch:
+            return self.sim.now
+        if len(batch) == 1:
+            return self.send_to_middlebox(batch[0])
+        frame = batch_message(batch[0].mb, batch)
+        self.to_mb.batches += 1
+        self.to_mb.framed_messages += len(batch)
+        return self.send_to_middlebox(frame)
 
     def send_to_controller(self, message: Message) -> float:
         """Send a message from the middlebox to the controller; returns delivery time."""

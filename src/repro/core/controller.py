@@ -8,17 +8,25 @@ northbound API) and middleboxes (which speak the southbound message protocol):
   southbound requests (the state machines in :mod:`repro.core.operations`);
 * it buffers re-process events until the destination has ACKed the put for the
   affected state, then forwards them (paper Figure 5);
-* it serialises its own message handling through a single simulated CPU with a
-  per-message processing cost, which is what makes concurrent operations
-  contend with each other exactly as the paper's profiling shows
-  (section 8.3: thread contention and socket reads dominate).
+* it runs message handling on one or more **controller shards**
+  (:mod:`repro.core.sharding`): each shard is a simulated CPU with a
+  per-message processing cost.  With the default single shard, concurrent
+  operations contend with each other exactly as the paper's profiling shows
+  (section 8.3: thread contention and socket reads dominate); with
+  ``num_shards > 1`` the flow space is consistent-hash partitioned and each
+  shard runs its own event/ACK loop, so simultaneous operations scale with
+  the shard count instead of serialising;
+* with ``dispatch_tick`` set it coalesces hot-path southbound requests
+  (puts, replays, releases, deletes) per destination channel into one framed
+  BATCH message per tick, so the wire does O(batches) instead of O(messages)
+  channel round-trips.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..net.simulator import Future, Simulator
 from . import messages
@@ -26,7 +34,7 @@ from .channel import DEFAULT_CONTROL_BANDWIDTH, DEFAULT_CONTROL_LATENCY, Control
 from .errors import OperationAbortedError, OperationError, UnknownMiddleboxError
 from .events import Event
 from .flowspace import FlowKey, FlowPattern
-from .messages import Message, MessageType
+from .messages import BATCHABLE_REQUESTS, Message, MessageType
 from .operations import (
     CloneOperation,
     MergeOperation,
@@ -35,6 +43,7 @@ from .operations import (
     OperationRecord,
     _StatefulOperation,
 )
+from .sharding import ControllerShard, ShardCoordinator
 from .southbound import MiddleboxInterface, SouthboundAgent
 from .stats import ControllerStats
 from .transfer import TransferSpec
@@ -58,6 +67,17 @@ class ControllerConfig:
     #: Control-channel latency and bandwidth used for newly registered middleboxes.
     channel_latency: float = DEFAULT_CONTROL_LATENCY
     channel_bandwidth: float = DEFAULT_CONTROL_BANDWIDTH
+    #: Number of controller shards (event/ACK loops).  1 reproduces the seed's
+    #: single-CPU serialisation bit-for-bit; N > 1 partitions the flow space
+    #: by consistent hash and runs N independent loops.
+    num_shards: int = 1
+    #: Southbound batching window in seconds: hot-path requests (put /
+    #: re-process / release / delete) to the same middlebox enqueued within
+    #: one tick are framed into a single BATCH channel message.  ``0.0``
+    #: coalesces requests issued at the same simulated instant; ``None``
+    #: (default) disables coalescing entirely (every request is its own
+    #: channel message, the seed behaviour).
+    dispatch_tick: Optional[float] = None
 
 
 @dataclass
@@ -76,9 +96,17 @@ class MBController:
         self.sim = sim
         self.config = config or ControllerConfig()
         self.stats = ControllerStats()
+        #: Sharded runtime: the coordinator owns the consistent-hash ring, the
+        #: per-shard event loops, operation placement, and cross-shard barriers.
+        self.coordinator = ShardCoordinator(sim, self.config.num_shards)
         self._registrations: Dict[str, _Registration] = {}
-        #: Reply routing: (mb name, request xid) -> callback for each reply message.
-        self._reply_handlers: Dict[Tuple[str, int], Callable[[Message], None]] = {}
+        #: Reply routing: (mb name, request xid) -> (shard id whose loop the
+        #: reply is charged to, callback) for each reply message.
+        self._reply_handlers: Dict[Tuple[str, int], Tuple[int, Callable[[Message], None]]] = {}
+        #: Batched southbound dispatch: per-middlebox queues of coalescible
+        #: requests and the set of middleboxes with a flush already scheduled.
+        self._outbox: Dict[str, List[Message]] = {}
+        self._flush_scheduled: Set[str] = set()
         #: Operations currently in flight, keyed by source MB name.
         self._active_by_src: Dict[str, List[_StatefulOperation]] = {}
         #: Application subscribers for introspection events.
@@ -96,8 +124,6 @@ class MBController:
         #: (destination, canonical flow key) -> sequence token of the last
         #: ACKed per-flow state install at that destination.
         self._installed_state: Dict[Tuple[str, FlowKey], int] = {}
-        #: Simulated controller CPU: the time at which it next becomes free.
-        self._cpu_free_at = 0.0
 
     # -- registration -----------------------------------------------------------------------
 
@@ -146,6 +172,8 @@ class MBController:
         self._active_by_src.pop(name, None)
         for key in [key for key in self._reply_handlers if key[0] == name]:
             del self._reply_handlers[key]
+        self._outbox.pop(name, None)
+        self._flush_scheduled.discard(name)
         if registration is not None:
             registration.channel.unbind_controller()
 
@@ -161,32 +189,71 @@ class MBController:
         except KeyError:
             raise UnknownMiddleboxError(f"middlebox {name!r} is not registered with the controller") from None
 
-    # -- controller CPU model -------------------------------------------------------------------
-
-    def _on_cpu(self, cost: float, work: Callable[[], None]) -> None:
-        """Run *work* after *cost* seconds of (serialised) controller CPU time."""
-        start = max(self.sim.now, self._cpu_free_at)
-        finish = start + cost
-        self._cpu_free_at = finish
-        self.sim.schedule_at(finish, work)
-
     # -- message plumbing --------------------------------------------------------------------------
 
-    def send(self, mb_name: str, message: Message, on_reply: Optional[Callable[[Message], None]] = None) -> int:
+    def send(
+        self,
+        mb_name: str,
+        message: Message,
+        on_reply: Optional[Callable[[Message], None]] = None,
+        *,
+        shard: Optional[ControllerShard] = None,
+    ) -> int:
         """Send a southbound request to a middlebox; optionally route its replies.
 
         Returns the request xid.  The reply handler is invoked for *every*
         message the middlebox sends with ``reply_to`` equal to that xid
-        (chunk streams produce many).
+        (chunk streams produce many).  *shard* names the controller shard
+        whose loop the replies are charged to — stateful operations pass
+        their home shard; by default the middlebox's hash-assigned shard is
+        used.  With ``dispatch_tick`` configured, hot-path request types are
+        coalesced into one framed BATCH per destination per tick instead of
+        being sent immediately.
+
+        Raises:
+            UnknownMiddleboxError: when *mb_name* is not registered.
         """
         registration = self._registration(mb_name)
+        if shard is None:
+            shard = self.coordinator.shard_for_name(mb_name)
         if on_reply is not None:
-            self._reply_handlers[(mb_name, message.xid)] = on_reply
+            self._reply_handlers[(mb_name, message.xid)] = (shard.shard_id, on_reply)
         self.stats.messages_sent += 1
+        if self.config.dispatch_tick is not None and message.type in BATCHABLE_REQUESTS:
+            self._outbox.setdefault(mb_name, []).append(message)
+            if mb_name not in self._flush_scheduled:
+                self._flush_scheduled.add(mb_name)
+                self.sim.schedule(self.config.dispatch_tick, self._flush_outbox, mb_name)
+            return message.xid
+        # A non-batchable request flushes the destination's queue first so the
+        # channel still delivers in send order (per-channel FIFO).
+        if self.config.dispatch_tick is not None:
+            self._flush_outbox(mb_name)
         registration.channel.send_to_middlebox(message)
         return message.xid
 
-    def try_send(self, mb_name: str, message: Message, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
+    def _flush_outbox(self, mb_name: str) -> None:
+        """Frame and send every request queued for *mb_name* (if still registered)."""
+        self._flush_scheduled.discard(mb_name)
+        queued = self._outbox.pop(mb_name, None)
+        if not queued:
+            return
+        registration = self._registrations.get(mb_name)
+        if registration is None:
+            return  # unregistered while queued: drop, like any late message
+        if len(queued) > 1:
+            self.stats.batches_dispatched += 1
+            self.stats.messages_coalesced += len(queued)
+        registration.channel.send_many_to_middlebox(queued)
+
+    def try_send(
+        self,
+        mb_name: str,
+        message: Message,
+        on_reply: Optional[Callable[[Message], None]] = None,
+        *,
+        shard: Optional[ControllerShard] = None,
+    ) -> bool:
         """Like :meth:`send`, but tolerate an unregistered middlebox.
 
         Returns False (instead of raising) when *mb_name* is no longer
@@ -194,33 +261,59 @@ class MBController:
         target may have been terminated (e.g. scale-down) in the meantime.
         """
         try:
-            self.send(mb_name, message, on_reply=on_reply)
+            self.send(mb_name, message, on_reply=on_reply, shard=shard)
         except UnknownMiddleboxError:
             return False
         return True
 
+    def _shard_for_message(self, mb_name: str, message: Message) -> ControllerShard:
+        """Route an incoming message to the shard whose loop must handle it.
+
+        Events carrying a flow key go to the shard owning that flow (the
+        flow-space partition); replies go to the shard recorded when the
+        request was sent (the operation's home loop); everything else goes to
+        the middlebox's hash-assigned shard.
+        """
+        if message.type == MessageType.EVENT:
+            key = message.body.get("key")
+            if key is not None:
+                return self.coordinator.shard_for_key(FlowKey.from_dict(key))
+            return self.coordinator.shard_for_name(mb_name)
+        if message.reply_to is not None:
+            entry = self._reply_handlers.get((mb_name, message.reply_to))
+            if entry is not None:
+                return self.coordinator.shards[entry[0]]
+        return self.coordinator.shard_for_name(mb_name)
+
     def _receive(self, mb_name: str, message: Message) -> None:
         """Entry point for every message arriving from a middlebox."""
         self.stats.messages_received += 1
+        shard = self._shard_for_message(mb_name, message)
         cost = self.config.per_event_cost if message.type == MessageType.EVENT else self.config.per_message_cost
-        self._on_cpu(cost, lambda: self._dispatch(mb_name, message))
+        shard.on_cpu(cost, lambda: self._dispatch(mb_name, message, shard))
 
-    def _dispatch(self, mb_name: str, message: Message) -> None:
+    def _dispatch(self, mb_name: str, message: Message, shard: ControllerShard) -> None:
         if message.type == MessageType.EVENT:
-            self._handle_event(mb_name, message)
+            self._handle_event(mb_name, message, shard)
             return
         if message.reply_to is not None:
-            handler = self._reply_handlers.get((mb_name, message.reply_to))
-            if handler is not None:
-                handler(message)
+            entry = self._reply_handlers.get((mb_name, message.reply_to))
+            if entry is not None:
+                entry[1](message)
                 return
         # Unsolicited non-event messages are ignored but counted as received.
 
-    def _handle_event(self, mb_name: str, message: Message) -> None:
+    def _handle_event(self, mb_name: str, message: Message, shard: ControllerShard) -> None:
         event = messages.decode_event(message)
         self.stats.events_received += 1
+        shard.stats.events += 1
         if event.is_reprocess:
-            for operation in list(self._active_by_src.get(mb_name, [])):
+            # Deliver to the operations that broadcast interest in this
+            # source onto the shard owning the event's flow.  With one shard
+            # this is exactly the seed's every-operation-with-this-source
+            # delivery; with several, an exact-pattern operation only sees
+            # events its own shard owns.
+            for operation in shard.operations_for(mb_name):
                 operation.on_event(event)
         else:
             self.stats.introspection_events += 1
@@ -251,7 +344,14 @@ class MBController:
             if operation is not None:
                 operation._install_tokens.add(token)
 
-    def forward_event(self, dst_mb: str, event: Event, on_reply: Optional[Callable[[Message], None]] = None) -> bool:
+    def forward_event(
+        self,
+        dst_mb: str,
+        event: Event,
+        on_reply: Optional[Callable[[Message], None]] = None,
+        *,
+        shard: Optional[ControllerShard] = None,
+    ) -> bool:
         """Replay *event*'s packet at *dst_mb*, exactly once per state install.
 
         Returns True when the re-process message was actually sent.  The
@@ -297,6 +397,7 @@ class MBController:
             dst_mb,
             messages.reprocess_message(dst_mb, event, shared=shared_override, seq=seq),
             on_reply=on_replay_reply,
+            shard=shard,
         )
         return True
 
@@ -432,6 +533,10 @@ class MBController:
     def _start(self, operation: _StatefulOperation) -> OperationHandle:
         self.stats.operations_started += 1
         self._active_by_src.setdefault(operation.src, []).append(operation)
+        # Broadcast the operation's event interest to every shard its pattern
+        # could own flows on (one shard for an exact five-tuple, all shards
+        # for wildcard/prefix patterns).
+        self.coordinator.register_operation(operation)
         operation.handle.completed.add_done_callback(lambda future: self._on_completed(operation, future))
         operation.start()
         return operation.handle
@@ -458,6 +563,7 @@ class MBController:
         active = self._active_by_src.get(operation.src, [])
         if operation in active:
             active.remove(operation)
+        self.coordinator.release_operation(operation)
         # Prune the operation's replay-dedup and install-sequence tokens so
         # _forwarded_events / _installed_state stay bounded.  A concurrent
         # operation with the same destination may still be holding the same
@@ -491,3 +597,7 @@ class MBController:
     def active_operations(self) -> List[OperationRecord]:
         """Records of operations that have started but not yet finalised."""
         return [op.record for ops in self._active_by_src.values() for op in ops]
+
+    def shard_summary(self) -> Dict[str, object]:
+        """Per-shard load counters (messages, events, busy time, homed ops)."""
+        return self.coordinator.summary()

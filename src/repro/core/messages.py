@@ -27,6 +27,10 @@ class MessageType:
     """Message type tags used on the wire."""
 
     # controller -> middlebox requests
+    #: Framed batch of several southbound requests delivered as one channel
+    #: message (the batched-dispatch optimization); each inner message keeps
+    #: its own xid and is ACKed/answered individually.
+    BATCH = "batch"
     GET_CONFIG = "get_config"
     SET_CONFIG = "set_config"
     DEL_CONFIG = "del_config"
@@ -85,23 +89,16 @@ class Message:
     mb: str = ""
     body: Dict[str, Any] = field(default_factory=dict)
 
-    def encode(self) -> bytes:
-        """Encode to the JSON wire form."""
-        wire = {"type": self.type, "xid": self.xid, "mb": self.mb, "body": self.body}
+    def as_wire(self) -> Dict[str, Any]:
+        """Return the JSON-serialisable wire dict (used directly for batch frames)."""
+        wire: Dict[str, Any] = {"type": self.type, "xid": self.xid, "mb": self.mb, "body": self.body}
         if self.reply_to is not None:
             wire["reply_to"] = self.reply_to
-        try:
-            return json.dumps(wire, sort_keys=True, separators=(",", ":")).encode("utf-8")
-        except (TypeError, ValueError) as exc:
-            raise ProtocolError(f"cannot encode message {self.type}: {exc}") from exc
+        return wire
 
     @classmethod
-    def decode(cls, data: bytes) -> "Message":
-        """Decode a message from its JSON wire form."""
-        try:
-            wire = json.loads(data.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise ProtocolError(f"malformed message: {exc}") from exc
+    def from_wire(cls, wire: Dict[str, Any]) -> "Message":
+        """Rebuild a message from its wire dict; raises ProtocolError when malformed."""
         for required in ("type", "xid"):
             if required not in wire:
                 raise ProtocolError(f"message missing field {required!r}")
@@ -112,6 +109,22 @@ class Message:
             mb=wire.get("mb", ""),
             body=wire.get("body", {}),
         )
+
+    def encode(self) -> bytes:
+        """Encode to the JSON wire form."""
+        try:
+            return json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"cannot encode message {self.type}: {exc}") from exc
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Decode a message from its JSON wire form."""
+        try:
+            wire = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"malformed message: {exc}") from exc
+        return cls.from_wire(wire)
 
     @property
     def wire_size(self) -> int:
@@ -283,6 +296,40 @@ def disable_events(mb: str, code: str, pattern: Optional[FlowPattern] = None) ->
 def transfer_end(mb: str) -> Message:
     """Tell a middlebox an in-progress clone/merge transfer has completed."""
     return Message(MessageType.TRANSFER_END, mb=mb, body={})
+
+
+# -- batched southbound dispatch ------------------------------------------------------
+
+#: Request types the controller's batched dispatcher may coalesce into one
+#: BATCH frame per destination channel per tick.  These are the hot-path
+#: messages of a state transfer (state installs, replays, releases, deletes);
+#: control-plane requests with streamed replies (gets, stats) stay unframed.
+BATCHABLE_REQUESTS = frozenset(
+    {
+        MessageType.PUT_PERFLOW,
+        MessageType.PUT_PERFLOW_BATCH,
+        MessageType.REPROCESS_PACKET,
+        MessageType.TRANSFER_RELEASE,
+        MessageType.DEL_PERFLOW,
+    }
+)
+
+
+def batch_message(mb: str, frames: list) -> Message:
+    """Frame several southbound requests as one BATCH channel message.
+
+    The frame pays the channel's per-message latency once for ``len(frames)``
+    requests; each inner message keeps its own xid, so replies and ACKs route
+    exactly as they would have unbatched.
+    """
+    return Message(MessageType.BATCH, mb=mb, body={"frames": [frame.as_wire() for frame in frames]})
+
+
+def decode_batch(message: Message) -> list:
+    """Unpack a BATCH frame into its inner messages, in dispatch order."""
+    if message.type != MessageType.BATCH:
+        raise ProtocolError(f"not a batch message: {message.type!r}")
+    return [Message.from_wire(wire) for wire in message.body.get("frames", [])]
 
 
 # -- packet and event codecs ----------------------------------------------------------

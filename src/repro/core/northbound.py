@@ -30,6 +30,7 @@ SpecLike = Union[TransferSpec, TransferGuarantee, str, Dict[str, object], None]
 
 
 def _as_pattern(pattern: PatternLike) -> FlowPattern:
+    """Coerce any PatternLike value into a FlowPattern (None = wildcard)."""
     if isinstance(pattern, FlowPattern):
         return pattern
     return FlowPattern.parse(pattern)

@@ -90,6 +90,8 @@ class OperationRecord:
     batches_sent: int = 0
     releases_sent: int = 0
     deleted_chunks: int = 0
+    #: Controller shard whose event/ACK loop ran this operation.
+    home_shard: int = 0
     #: TransferSpec parameters the operation ran with.
     guarantee: str = TransferGuarantee.LOSS_FREE.value
     parallelism: int = 0
@@ -153,6 +155,12 @@ class _StatefulOperation:
         self.dst = dst
         self.pattern = pattern
         self.spec = spec or TransferSpec.default()
+        #: Home shard: the controller loop that sends this operation's
+        #: southbound requests and absorbs their replies/ACKs.
+        self.home_shard = controller.coordinator.home_shard(pattern)
+        #: Every shard the operation's pattern could own flows on; its event
+        #: interest is broadcast to all of them (wildcards span the ring).
+        self.shards = controller.coordinator.shards_for_pattern(pattern)
         self.record = OperationRecord(
             op_id=next(_operation_ids),
             type=self.op_type,
@@ -160,6 +168,7 @@ class _StatefulOperation:
             dst=dst,
             pattern=pattern,
             started_at=self.sim.now,
+            home_shard=self.home_shard.shard_id,
             guarantee=self.spec.guarantee.value,
             parallelism=self.spec.parallelism,
             batch_size=self.spec.batch_size,
@@ -241,7 +250,7 @@ class _StatefulOperation:
 
     def _forward(self, event: Event, on_reply=None) -> bool:
         """Replay *event* at the destination; True when actually sent."""
-        if self.controller.forward_event(self.dst, event, on_reply=on_reply):
+        if self.controller.forward_event(self.dst, event, on_reply=on_reply, shard=self.home_shard):
             self.record.events_forwarded += 1
             self._forward_tokens.add((event.event_id, self.dst))
             return True
@@ -379,6 +388,7 @@ class ChunkPipeline:
                 self.op.dst,
                 message,
                 on_reply=lambda reply, keys=keys: self._on_put_reply(reply, keys),
+                shard=self.op.home_shard,
             )
 
     def _on_put_reply(self, message: Message, keys: Tuple[FlowKey, ...]) -> None:
@@ -592,7 +602,10 @@ class OrderPreservingPolicy(LossFreePolicy):
             self.op._check_complete()
 
         self.op.controller.send(
-            self.op.dst, messages.transfer_release(self.op.dst, [canonical]), on_reply=on_reply
+            self.op.dst,
+            messages.transfer_release(self.op.dst, [canonical]),
+            on_reply=on_reply,
+            shard=self.op.home_shard,
         )
 
     @property
@@ -640,6 +653,7 @@ class MoveOperation(_StatefulOperation):
                 self.src,
                 messages.get_perflow(self.src, role, self.pattern, transfer=True),
                 on_reply=self._on_src_reply,
+                shard=self.home_shard,
             )
 
     # -- source-side replies ------------------------------------------------------------
@@ -672,7 +686,9 @@ class MoveOperation(_StatefulOperation):
             # move does not blackhole their traffic.  Releasing a flow that
             # was never held (or already released) is a harmless no-op.
             held = list(self.pipeline._all_flows)
-            if held and self.controller.try_send(self.dst, messages.transfer_release(self.dst, held)):
+            if held and self.controller.try_send(
+                self.dst, messages.transfer_release(self.dst, held), shard=self.home_shard
+            ):
                 self.record.releases_sent += 1
         super()._fail(exc)
 
@@ -689,7 +705,9 @@ class MoveOperation(_StatefulOperation):
             # Clear the flow's transfer marker at the source right away so it
             # stops raising re-process events (weaker than pure loss-free:
             # updates hitting the source after this point are not replayed).
-            if self.controller.try_send(self.src, messages.transfer_release(self.src, [canonical])):
+            if self.controller.try_send(
+                self.src, messages.transfer_release(self.src, [canonical]), shard=self.home_shard
+            ):
                 self.record.releases_sent += 1
 
     def _check_complete(self) -> None:
@@ -735,7 +753,10 @@ class MoveOperation(_StatefulOperation):
             # The source may have been terminated (e.g. scale-down) before
             # quiescence; there is nothing left to delete then.
             if not self.controller.try_send(
-                self.src, messages.del_perflow(self.src, role, self.pattern), on_reply=on_delete_reply
+                self.src,
+                messages.del_perflow(self.src, role, self.pattern),
+                on_reply=on_delete_reply,
+                shard=self.home_shard,
             ):
                 pending["count"] -= 1
         if pending["count"] == 0:
@@ -777,6 +798,7 @@ class CloneOperation(_StatefulOperation):
                 self.src,
                 messages.get_shared(self.src, role, transfer=True),
                 on_reply=self._on_src_reply,
+                shard=self.home_shard,
             )
 
     def _on_src_reply(self, message: Message) -> None:
@@ -787,7 +809,9 @@ class CloneOperation(_StatefulOperation):
             self.record.chunks_transferred += 1
             self.record.bytes_transferred += chunk.size
             self._shared_put_pending = True
-            self.controller.send(self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply)
+            self.controller.send(
+                self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply, shard=self.home_shard
+            )
             self._gets_outstanding -= 1
         elif message.type == MessageType.GET_COMPLETE:
             # The source had no shared state of this role; nothing to transfer.
@@ -849,7 +873,9 @@ class CloneOperation(_StatefulOperation):
             if message.type in (MessageType.ACK, MessageType.ERROR):
                 self._mark_finalized()
 
-        if not self.controller.try_send(self.src, messages.transfer_end(self.src), on_reply=on_reply):
+        if not self.controller.try_send(
+            self.src, messages.transfer_end(self.src), on_reply=on_reply, shard=self.home_shard
+        ):
             # The source was terminated before quiescence; nothing to notify.
             self._mark_finalized()
 
@@ -876,7 +902,9 @@ class MergeOperation(CloneOperation):
             self.record.bytes_transferred += chunk.size
             self._pending_put_count += 1
             self._shared_put_pending = True
-            self.controller.send(self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply)
+            self.controller.send(
+                self.dst, messages.put_shared(self.dst, chunk), on_reply=self._on_put_reply, shard=self.home_shard
+            )
             self._gets_outstanding -= 1
         else:
             super()._on_src_reply(message)

@@ -212,9 +212,17 @@ class SouthboundAgent:
     # -- controller -> middlebox -------------------------------------------------------
 
     def handle_message(self, message: Message) -> None:
-        """Dispatch one request from the controller."""
-        self.stats.requests_handled += 1
+        """Dispatch one request from the controller.
+
+        A BATCH frame is pure framing: it is not counted as a request itself
+        (its inner messages are, as they re-enter here), so
+        ``requests_handled`` equals the logical request count whether or not
+        the controller coalesced the wire.
+        """
+        if message.type != MessageType.BATCH:
+            self.stats.requests_handled += 1
         handler = {
+            MessageType.BATCH: self._handle_batch,
             MessageType.GET_CONFIG: self._handle_get_config,
             MessageType.SET_CONFIG: self._handle_set_config,
             MessageType.DEL_CONFIG: self._handle_del_config,
@@ -238,6 +246,16 @@ class SouthboundAgent:
             handler(message)
         except (StateError, GranularityError, MiddleboxError) as exc:
             self._error(message, str(exc))
+
+    def _handle_batch(self, message: Message) -> None:
+        """Unframe a BATCH and dispatch its inner requests in order.
+
+        Each inner message runs through the normal handler table, so costs,
+        ACKs, and error replies are identical to the unbatched case — the
+        batch only saved the channel round-trips.
+        """
+        for inner in messages.decode_batch(message):
+            self.handle_message(inner)
 
     # configuration ---------------------------------------------------------------------
 

@@ -21,6 +21,10 @@ class ControllerStats:
 
     messages_received: int = 0
     messages_sent: int = 0
+    #: BATCH frames produced by the southbound dispatcher (each replaces
+    #: several channel messages) and the requests coalesced into them.
+    batches_dispatched: int = 0
+    messages_coalesced: int = 0
     events_received: int = 0
     events_forwarded: int = 0
     events_buffered: int = 0

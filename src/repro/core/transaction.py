@@ -77,6 +77,7 @@ class StepRecord:
 
     @property
     def duration(self) -> Optional[float]:
+        """Seconds from step start to finish (None while pending/running)."""
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
@@ -106,6 +107,7 @@ class _Step:
     # -- lifecycle ---------------------------------------------------------------------
 
     def start(self) -> None:
+        """Mark the step running and launch it; a launch error fails the txn."""
         self.record.status = StepStatus.RUNNING
         self.record.started_at = self.txn.sim.now
         self.txn._notify(self, "start")
@@ -115,9 +117,11 @@ class _Step:
             self._fail(exc)
 
     def run(self) -> None:
+        """Launch the step's work (subclass hook)."""
         raise NotImplementedError
 
     def _succeed(self, result: object = None) -> None:
+        """Complete the step: resolve the gate and notify the coordinator."""
         if self.gate.done:
             return
         self.record.status = StepStatus.DONE
@@ -128,6 +132,7 @@ class _Step:
         self.gate.succeed(result)
 
     def _fail(self, exc: BaseException) -> None:
+        """Fail the step: record the error and trigger the transaction abort."""
         if self.gate.done:
             return
         self.record.status = StepStatus.FAILED
@@ -166,6 +171,7 @@ class _CallStep(_Step):
         self.fn = fn
 
     def run(self) -> None:
+        """Invoke the callable; await its result when it returns a future."""
         result = self.fn()
         if isinstance(result, Future):
             self._resolve_future(result)
@@ -174,29 +180,39 @@ class _CallStep(_Step):
 
 
 class _CloneConfigStep(_Step):
+    """Duplicate a configuration (sub)tree from one middlebox onto another."""
+
     def __init__(self, txn: "Transaction", src: str, dst: str, key: str) -> None:
         super().__init__(txn, f"clone_config({src}->{dst})")
         self.src, self.dst, self.key = src, dst, key
 
     def run(self) -> None:
+        """Issue the read+write composition through the northbound API."""
         self._resolve_future(self.txn.nb.clone_config(self.src, self.dst, self.key))
 
 
 class _WriteConfigStep(_Step):
+    """Set configuration values on one middlebox."""
+
     def __init__(self, txn: "Transaction", mb: str, key: str, values) -> None:
         super().__init__(txn, f"write_config({mb},{key})")
         self.mb, self.key, self.values = mb, key, values
 
     def run(self) -> None:
+        """Issue the writeConfig call."""
         self._resolve_future(self.txn.nb.write_config(self.mb, self.key, self.values))
 
 
 class _StatsStep(_Step):
+    """Query state statistics; the reply lands in the step's ``detail``."""
+
     def __init__(self, txn: "Transaction", mb: str, pattern) -> None:
         super().__init__(txn, f"stats({mb})")
         self.mb, self.pattern = mb, pattern
 
     def run(self) -> None:
+        """Issue the stats query and stash its reply on success."""
+
         def stash(future: Future) -> None:
             if future.exception is None:
                 self.record.detail["stats"] = future.result
@@ -207,11 +223,14 @@ class _StatsStep(_Step):
 
 
 class _EndTransferStep(_Step):
+    """Tell a middlebox an in-progress clone/merge transfer has completed."""
+
     def __init__(self, txn: "Transaction", mb: str) -> None:
         super().__init__(txn, f"end_transfer({mb})")
         self.mb = mb
 
     def run(self) -> None:
+        """Issue the endTransfer call."""
         self._resolve_future(self.txn.nb.end_transfer(self.mb))
 
 
@@ -237,6 +256,7 @@ class _OperationStep(_Step):
         self.handle: Optional[OperationHandle] = None
 
     def run(self) -> None:
+        """Start the operation and bridge its futures to the step's own."""
         nb = self.txn.nb
         if self.kind == "move":
             self.handle = nb.move_internal(self.src, self.dst, self.pattern, spec=self.spec)
@@ -259,16 +279,20 @@ class _OperationStep(_Step):
 
     @property
     def operation_record(self):
+        """The operation's measurement record (None before the step runs)."""
         return None if self.handle is None else self.handle.record
 
     def abort_inflight(self, exc: Exception) -> None:
+        """Fail the running operation (releases destination packet holds)."""
         if self.handle is not None:
             self.txn.controller.abort_operation(self.handle, str(exc))
 
     def rollback(self) -> None:
-        # A completed operation cannot be un-done, but its destructive
-        # post-quiescence step (delete at the source) can still be cancelled
-        # so the source keeps its state after the abort.
+        """Cancel the completed operation's destructive post-quiescence step.
+
+        A completed operation cannot be un-done, but the delete at the source
+        can still be cancelled so the source keeps its state after the abort.
+        """
         if self.handle is not None:
             if self.txn.controller.abort_operation(self.handle, "transaction rolled back"):
                 self.record.status = StepStatus.ROLLED_BACK
@@ -312,6 +336,7 @@ class _RerouteStep(_Step):
         self._route_handles: List = []
 
     def run(self) -> None:
+        """Install the routes (declarative swap or application callback)."""
         self.record.detail["requested_at"] = self.txn.sim.now
         if self.changes is not None:
             if self.sdn is None:
@@ -334,13 +359,16 @@ class _RerouteStep(_Step):
             self._succeed(result)
 
     def _succeed(self, result: object = None) -> None:
+        """Stamp the route-install time before completing the step."""
         self.record.detail["installed_at"] = self.txn.sim.now
         super()._succeed(result)
 
     def abort_inflight(self, exc: Exception) -> None:
+        """Partially installed routes roll back like completed ones."""
         self.rollback()
 
     def rollback(self) -> None:
+        """Remove installed routes (re-installing any the swap replaced)."""
         rolled = False
         if self._swap is not None:
             self._swap.rollback()
@@ -362,6 +390,7 @@ class _BarrierStep(_Step):
         self._extra: List[Callable[[], Optional[Future]]] = []
 
     def run(self) -> None:
+        """Gather the extra futures (finalisation, shard quiesce) and wait."""
         futures = [future for thunk in self._extra if (future := thunk()) is not None]
         if futures:
             self._resolve_future(all_of(self.txn.sim, futures))
@@ -392,10 +421,12 @@ class _RebalanceStep(_Step):
         self.handle: Optional[OperationHandle] = None
 
     def run(self) -> None:
+        """Measure per-replica load, then decide whether (and what) to move."""
         measurements = [self.txn.nb.stats(replica, None) for replica in self.replicas]
         all_of(self.txn.sim, measurements).add_done_callback(self._on_loads)
 
     def _on_loads(self, future: Future) -> None:
+        """With loads in hand: no-op when balanced, else move + reroute."""
         if future.exception is not None:
             self._fail(future.exception)
             return
@@ -442,16 +473,20 @@ class _RebalanceStep(_Step):
 
     @property
     def operation_record(self):
+        """The re-balancing move's record (None when no move was needed)."""
         return None if self.handle is None else self.handle.record
 
     def abort_inflight(self, exc: Exception) -> None:
+        """Fail the in-flight re-balancing move."""
         if self.handle is not None:
             self.txn.controller.abort_operation(self.handle, str(exc))
 
     def rollback(self) -> None:
-        # Mirror _OperationStep.rollback: cancel the completed move's pending
-        # post-quiescence source delete so the busiest replica keeps its state
-        # when a later step aborts the transaction.
+        """Cancel the completed move's pending post-quiescence source delete.
+
+        Mirrors ``_OperationStep.rollback`` so the busiest replica keeps its
+        state when a later step aborts the transaction.
+        """
         if self.handle is not None:
             if self.txn.controller.abort_operation(self.handle, "transaction rolled back"):
                 self.record.status = StepStatus.ROLLED_BACK
@@ -478,6 +513,7 @@ class TransactionHandle:
 
     @property
     def status(self) -> str:
+        """Transaction status: ``running``, ``committed``, or ``aborted``."""
         return self._txn.status
 
     @property
@@ -551,6 +587,7 @@ class Transaction:
         return edges
 
     def _add(self, step: _Step, after=None, *, op_mode: str = "done") -> _Step:
+        """Append *step* with its dependency edges (default: previous step)."""
         if self.status != "building":
             raise TransactionError("cannot add steps after commit()")
         if after is None:
@@ -562,6 +599,7 @@ class Transaction:
         return step
 
     def _pattern(self, pattern: PatternLike) -> Optional[FlowPattern]:
+        """Coerce a PatternLike into a FlowPattern, passing None through."""
         if pattern is None or isinstance(pattern, FlowPattern):
             return pattern
         return FlowPattern.parse(pattern)
@@ -647,12 +685,36 @@ class Transaction:
         """Run an arbitrary callable as a step (a returned future is awaited)."""
         return self._add(_CallStep(self, name, fn), after)
 
-    def barrier(self, steps: Optional[Sequence[_Step]] = None, *, finalized: bool = False, after=None) -> _Step:
+    def barrier(
+        self,
+        steps: Optional[Sequence[_Step]] = None,
+        *,
+        finalized: bool = False,
+        quiesce_shards: bool = False,
+        after=None,
+    ) -> _Step:
         """Wait for *steps* (default: every step declared so far) to complete.
 
-        With ``finalized=True`` the barrier additionally waits for the
-        post-quiescence finalisation of every operation step it covers.
-        ``after=`` adds further explicit edges, as on every other step.
+        Args:
+            steps: the steps to wait on; ``None`` covers every step declared
+                so far.
+            finalized: additionally wait for the post-quiescence finalisation
+                of every operation step covered.
+            quiesce_shards: additionally wait for the **cross-shard barrier**:
+                the controller shards hosting the covered operations must
+                drain their event/ACK loops before the barrier completes.
+                This is how a transaction orders a step (e.g. a merge) behind
+                operations homed on *different* shards — step completion alone
+                only proves each shard's own loop reached the completion
+                point, not that every shard's in-flight handling for those
+                operations has been absorbed.
+            after: further explicit dependency edges, as on every other step.
+
+        Returns:
+            The barrier step.
+
+        Raises:
+            TransactionError: when called after :meth:`commit`.
         """
         if self.status != "building":
             raise TransactionError("cannot add steps after commit()")
@@ -666,6 +728,18 @@ class Transaction:
             for dep in covered:
                 if isinstance(dep, _OperationStep):
                     barrier._extra.append(lambda d=dep: None if d.handle is None else d.handle.finalized)
+        if quiesce_shards:
+            operation_steps = [dep for dep in covered if isinstance(dep, _OperationStep)]
+
+            def shard_barrier() -> Future:
+                shard_ids: List[int] = []
+                for dep in operation_steps:
+                    operation = None if dep.handle is None else dep.handle._operation
+                    if operation is not None:
+                        shard_ids.extend(shard.shard_id for shard in operation.shards)
+                return self.controller.coordinator.barrier(shard_ids or None)
+
+            barrier._extra.append(shard_barrier)
         # A barrier's edges are all explicit; bypass the default previous-step
         # edge _add() would attach.
         self.steps.append(barrier)
@@ -782,7 +856,18 @@ class Transaction:
     # -- committing ----------------------------------------------------------------------------
 
     def commit(self) -> TransactionHandle:
-        """Freeze the operation graph and start executing it."""
+        """Freeze the operation graph and start executing it.
+
+        The committing transaction is adopted by the controller's
+        :class:`~repro.core.sharding.ShardCoordinator` (the shared authority
+        for cross-shard state) and released when it resolves either way.
+
+        Returns:
+            The :class:`TransactionHandle` tracking per-step progress.
+
+        Raises:
+            TransactionError: when the transaction was already committed.
+        """
         if self.status != "building":
             raise TransactionError("transaction already committed")
         self.status = "running"
@@ -791,11 +876,15 @@ class Transaction:
             self.status = "committed"
             self.handle.done.succeed(self.handle)
             return self.handle
+        coordinator = self.controller.coordinator
+        coordinator.adopt_transaction(self)
+        self.handle.done.add_done_callback(lambda _future: coordinator.release_transaction(self))
         for step in self.steps:
             self._wire(step)
         return self.handle
 
     def _wire(self, step: _Step) -> None:
+        """Arm *step* to start once its dependency futures all resolve."""
         if not step.deps:
             self.sim.schedule(0.0, step.start)
             return
@@ -809,6 +898,7 @@ class Transaction:
         all_of(self.sim, futures).add_done_callback(on_ready)
 
     def _notify(self, step: _Step, phase: str) -> None:
+        """Per-step progress hook: drives completion/abort and the observer."""
         if phase == "failed":
             self._on_step_failed(step)
         elif phase == "done":
@@ -817,6 +907,7 @@ class Transaction:
             self.observer(f"txn step {step.record.step_id}/{len(self.steps)} {step.record.name}: {phase}")
 
     def _on_step_done(self, step: _Step) -> None:
+        """Commit the transaction once the last step completes."""
         if self._aborting:
             return
         self._done_count += 1
@@ -826,6 +917,7 @@ class Transaction:
                 self.handle.done.succeed(self.handle)
 
     def _on_step_failed(self, step: _Step) -> None:
+        """First failure: cancel pending, abort running, roll back done steps."""
         if self._aborting:
             return
         self._aborting = True

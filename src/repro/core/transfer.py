@@ -75,6 +75,7 @@ class TransferSpec:
     early_release: bool = False
 
     def __post_init__(self) -> None:
+        """Validate field ranges; raises ValueError on malformed specs."""
         if not isinstance(self.guarantee, TransferGuarantee):
             raise ValueError(f"guarantee must be a TransferGuarantee, got {self.guarantee!r}")
         if self.parallelism < 0:

@@ -98,6 +98,10 @@ class SDNController:
         self.packet_ins: List[Packet] = []
         self.rules_installed = 0
         self.routing_updates = 0
+        #: Programming messages pushed to switches: one per (switch, update),
+        #: each possibly carrying several rules (the batched route dispatch —
+        #: a multi-pattern swap programs each switch once, not once per rule).
+        self.switch_updates = 0
         for node in topology.nodes.values():
             if isinstance(node, Switch):
                 node.set_packet_in_handler(self._on_packet_in)
@@ -143,21 +147,47 @@ class SDNController:
         handle.installed = all_of(self.sim, pending)
         return handle
 
+    def _register_prepared(
+        self,
+        route_id: int,
+        pattern: FlowPattern,
+        names: List[str],
+        prepared: List[tuple],
+        by_switch: Dict[Switch, List[FlowRule]],
+    ) -> tuple:
+        """Register one route and accumulate its rules into *by_switch*.
+
+        The single place route-registration happens: builds the handle,
+        records the rules, stores the route, and bumps ``routing_updates``.
+        Returns ``(handle, switches)`` where *switches* are the distinct
+        switches (in path order) whose pending updates gate the handle's
+        ``installed`` future.  The caller decides the batching scope by
+        passing a per-route or swap-wide accumulator.
+        """
+        handle = RouteHandle(route_id=route_id, cookie=f"route-{route_id}", pattern=pattern, path=list(names))
+        switches: List[Switch] = []
+        for switch, rule in prepared:
+            by_switch.setdefault(switch, []).append(rule)
+            handle.rules.append(rule)
+            if switch not in switches:
+                switches.append(switch)
+        self.routes[route_id] = handle
+        self.routing_updates += 1
+        return handle, switches
+
     def _register_route(
         self, route_id: int, pattern: FlowPattern, names: List[str], prepared: List[tuple]
     ) -> tuple:
         """Push pre-validated (switch, rule) pairs and register one route.
 
-        Returns ``(handle, pending)``; the caller combines *pending* into the
-        handle's ``installed`` future (it may add more, e.g. a reverse route).
+        Rules destined for the same switch are grouped into a single
+        programming update.  Returns ``(handle, pending)``; the caller
+        combines *pending* into the handle's ``installed`` future (it may add
+        more, e.g. a reverse route).
         """
-        handle = RouteHandle(route_id=route_id, cookie=f"route-{route_id}", pattern=pattern, path=list(names))
-        pending: List[Future] = []
-        for switch, rule in prepared:
-            pending.append(self._push_rule(switch, rule))
-            handle.rules.append(rule)
-        self.routes[route_id] = handle
-        self.routing_updates += 1
+        by_switch: Dict[Switch, List[FlowRule]] = {}
+        handle, _ = self._register_prepared(route_id, pattern, names, prepared, by_switch)
+        pending: List[Future] = [self._push_rules(switch, rules) for switch, rules in by_switch.items()]
         return handle, pending
 
     def _prepare_rules(
@@ -217,14 +247,21 @@ class SDNController:
             rules = self._prepare_rules(pattern, names, priority, f"route-{route_id}")
             prepared.append((pattern, names, route_id, rules))
 
+        # Batched route dispatch: group every rule of the whole swap by its
+        # target switch and program each switch exactly once, so a
+        # multi-pattern swap costs O(switches) updates instead of
+        # O(patterns x path length).
         swap = RouteSwap(controller=self, replaced=list(replace))
-        pending: List[Future] = []
+        by_switch: Dict[Switch, List[FlowRule]] = {}
+        route_switch_sets: List[tuple] = []
         for pattern, names, route_id, rules in prepared:
-            handle, route_pending = self._register_route(route_id, pattern, names, rules)
-            handle.installed = all_of(self.sim, route_pending)
-            pending.extend(route_pending)
+            handle, switches = self._register_prepared(route_id, pattern, names, rules, by_switch)
+            route_switch_sets.append((handle, switches))
             swap.routes.append(handle)
-        swap.installed = all_of(self.sim, pending)
+        update_futures = {switch: self._push_rules(switch, rules) for switch, rules in by_switch.items()}
+        for handle, switches in route_switch_sets:
+            handle.installed = all_of(self.sim, [update_futures[switch] for switch in switches])
+        swap.installed = all_of(self.sim, list(update_futures.values()))
 
         def break_old(future: Future) -> None:
             if future.exception is not None or swap._rolled_back:
@@ -246,16 +283,24 @@ class SDNController:
             triples.append((previous, current, following))
         return triples
 
-    def _push_rule(self, switch: Switch, rule: FlowRule) -> Future:
-        """Push *rule* to *switch*; it takes effect after the install latency."""
+    def _push_rules(self, switch: Switch, rules: List[FlowRule]) -> Future:
+        """Program *switch* with *rules* in one update message.
+
+        All rules of the update take effect together after the install
+        latency; the returned future completes at that point.  Batching rules
+        per switch is what keeps a multi-pattern route swap at one
+        programming round-trip per switch.
+        """
         future = self.sim.event(name=f"install@{switch.name}")
+        self.switch_updates += 1
 
-        def apply_rule() -> None:
-            switch.install_rule(rule)
-            self.rules_installed += 1
-            future.succeed(rule)
+        def apply_rules() -> None:
+            for rule in rules:
+                switch.install_rule(rule)
+            self.rules_installed += len(rules)
+            future.succeed(rules)
 
-        self.sim.schedule(self.rule_install_latency, apply_rule)
+        self.sim.schedule(self.rule_install_latency, apply_rules)
         return future
 
     def remove_route(self, handle: RouteHandle) -> None:

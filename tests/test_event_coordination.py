@@ -144,10 +144,10 @@ class TestSequenceTokens:
         captured = []
         original_send = controller.send
 
-        def spy(mb_name, message, on_reply=None):
+        def spy(mb_name, message, on_reply=None, **kwargs):
             if message.type in ("put_perflow", "reprocess_packet"):
                 captured.append((message.type, message.body.get("seq")))
-            return original_send(mb_name, message, on_reply=on_reply)
+            return original_send(mb_name, message, on_reply=on_reply, **kwargs)
 
         controller.send = spy
         feed(sim, src, 20, spacing=0.0)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Documentation checks runnable with the standard library alone.
+
+Two checks, mirroring the CI docs job:
+
+* **docstring coverage** over the public northbound surface (the same
+  modules CI runs ``interrogate --fail-under 90`` on), counted the same way
+  interrogate does with the repo's ``[tool.interrogate]`` settings
+  (``ignore-init-method``, ``ignore-nested-functions``, ``ignore-module``
+  false so module docstrings count);
+* **markdown link check** over the README and ``docs/``: every relative
+  link must resolve to a file in the repository.
+
+Exit status is non-zero when either check fails, so the script doubles as a
+pre-commit / CI gate where interrogate is unavailable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules whose public surface the docstring sweep covers (kept in sync
+#: with the interrogate invocation in .github/workflows/ci.yml).
+DOCSTRING_MODULES = [
+    "src/repro/core/northbound.py",
+    "src/repro/core/transaction.py",
+    "src/repro/core/transfer.py",
+    "src/repro/core/sharding.py",
+]
+
+FAIL_UNDER = 90.0
+
+MARKDOWN_ROOTS = ["README.md", "docs"]
+
+#: Inline markdown links: [text](target); excludes images handled the same way.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def docstring_coverage(path: Path) -> tuple[int, int, list[str]]:
+    """Count docstring-carrying definitions in one module.
+
+    Returns (documented, total, missing-names).  Counts the module itself,
+    every class, and every function/method except ``__init__`` and functions
+    nested inside other functions — interrogate's view under the repo's
+    configuration.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented, total, missing = 0, 0, []
+
+    def visit(node: ast.AST, qualname: str, inside_function: bool) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function or child.name == "__init__":
+                    continue
+                name = f"{qualname}.{child.name}" if qualname else child.name
+                total += 1
+                if ast.get_docstring(child) is not None:
+                    documented += 1
+                else:
+                    missing.append(name)
+                visit(child, name, True)
+            elif isinstance(child, ast.ClassDef):
+                name = f"{qualname}.{child.name}" if qualname else child.name
+                total += 1
+                if ast.get_docstring(child) is not None:
+                    documented += 1
+                else:
+                    missing.append(name)
+                visit(child, name, inside_function)
+
+    total += 1  # the module docstring
+    if ast.get_docstring(tree) is not None:
+        documented += 1
+    else:
+        missing.append("(module docstring)")
+    visit(tree, "", False)
+    return documented, total, missing
+
+
+def check_docstrings() -> bool:
+    """Enforce FAIL_UNDER % docstring coverage on every swept module."""
+    ok = True
+    for relative in DOCSTRING_MODULES:
+        path = REPO_ROOT / relative
+        documented, total, missing = docstring_coverage(path)
+        coverage = 100.0 * documented / total if total else 100.0
+        status = "ok" if coverage >= FAIL_UNDER else "FAIL"
+        print(f"docstrings {relative}: {documented}/{total} = {coverage:.1f}% [{status}]")
+        if coverage < FAIL_UNDER:
+            ok = False
+            for name in missing:
+                print(f"  missing: {name}")
+    return ok
+
+
+def iter_markdown_files() -> list[Path]:
+    """The markdown files the link check covers (README + docs/)."""
+    files: list[Path] = []
+    for root in MARKDOWN_ROOTS:
+        path = REPO_ROOT / root
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.glob("**/*.md")))
+    return files
+
+
+def check_links() -> bool:
+    """Every relative markdown link must resolve to an existing file."""
+    ok = True
+    for markdown in iter_markdown_files():
+        for target in _LINK_RE.findall(markdown.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (markdown.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                print(f"broken link in {markdown.relative_to(REPO_ROOT)}: {target}")
+                ok = False
+    print(f"links: checked {len(iter_markdown_files())} markdown files")
+    return ok
+
+
+def main() -> int:
+    """Run both checks; returns a shell exit status."""
+    docstrings_ok = check_docstrings()
+    links_ok = check_links()
+    return 0 if (docstrings_ok and links_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
