@@ -8,12 +8,32 @@ simulated time from issuing moveInternal until it returns, as a function of
 the number of chunks moved, with and without events flowing.  Expected shape:
 linear growth with the chunk count, and a single-digit-percent overhead when
 events are present.
+
+The **mode axis** extends the figure with the iterative pre-copy discipline:
+the same move is run under live packet load at increasing rates with
+``TransferSpec.default()`` (snapshot) and ``TransferSpec.precopy()``, and the
+compared quantity is the *freeze window* — the span during which flows are
+marked in-transfer and their events buffer.  Snapshot freezes for the whole
+transfer, so the window grows with total state size and event volume; pre-copy
+freezes only for the final dirty delta.  The acceptance point requires the
+pre-copy window to be at least 2x smaller at the highest traffic rate, with
+zero lost updates under loss-free.  Runnable directly:
+``python benchmarks/bench_fig10a_move_time.py --mode precopy``.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table, print_block
-from benchmarks.conftest import controller_with_dummies
+from repro.core import TransferSpec
+
+try:
+    from benchmarks.conftest import controller_with_dummies
+except ModuleNotFoundError:  # direct execution: python benchmarks/bench_fig10a_move_time.py
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import controller_with_dummies
 
 #: Per-pair chunk counts (each dummy holds this many supporting + reporting chunks,
 #: so a move transfers twice this number of chunks).
@@ -21,6 +41,13 @@ CHUNK_COUNTS = (500, 1000, 2000)
 
 #: Event rate used for the "with events" series (events/second of simulated time).
 EVENT_RATE = 2000.0
+
+#: Live packet rates (packets/second) for the mode axis (freeze-window series).
+TRAFFIC_RATES = (1000.0, 4000.0, 16000.0)
+
+#: Chunk count and traffic duration used for the mode axis.
+MODE_CHUNKS = 1000
+TRAFFIC_DURATION = 0.25
 
 
 def run_single_move(chunk_count: int, with_events: bool) -> dict:
@@ -80,3 +107,130 @@ def test_fig10a_move_time_vs_chunks(once):
         with_events = results[(chunk_count, True)]["duration"]
         assert with_events >= without
         assert with_events <= without * 1.30
+
+
+# =========================================================================================
+# Mode axis: snapshot vs iterative pre-copy under live packet load
+# =========================================================================================
+
+
+def run_move_under_load(mode: str, rate: float, *, chunk_count: int = MODE_CHUNKS) -> dict:
+    """One loss-free move while live packets keep updating the source's flows.
+
+    Returns the operation's freeze window, per-round stats, and an update
+    conservation check: every packet counted at the source must survive at
+    the source or the destination once the move finalizes (zero lost updates).
+    """
+    spec = TransferSpec.precopy() if mode == "precopy" else TransferSpec.default()
+    sim, controller, northbound, pairs = controller_with_dummies([chunk_count])
+    src, dst = pairs[0]
+    injected = src.drive_traffic_at_rate(rate, TRAFFIC_DURATION)
+    handle = northbound.move_internal(src.name, dst.name, None, spec=spec)
+    record = sim.run_until(handle.finalized, limit=1000)
+    sim.run(until=sim.now + 0.5)  # let late replays and deletes settle
+    counted = sum(rec.get("packets", 0) for _, rec in src.support_store.items())
+    counted += sum(rec.get("packets", 0) for _, rec in dst.support_store.items())
+    return {
+        "mode": record.mode,
+        "duration": record.duration,
+        "freeze_window": record.freeze_window,
+        "chunks": record.chunks_transferred,
+        "rounds": record.precopy_rounds,
+        "events": record.events_received,
+        "events_buffered": record.events_buffered,
+        "updates_lost": injected - counted,
+    }
+
+
+def test_fig10a_precopy_freeze_window(once):
+    """Pre-copy shrinks the freeze window >=2x at the highest rate, losing nothing."""
+
+    def run_all():
+        return {
+            (mode, rate): run_move_under_load(mode, rate)
+            for mode in ("snapshot", "precopy")
+            for rate in TRAFFIC_RATES
+        }
+
+    results = once(run_all)
+
+    rows = []
+    for rate in TRAFFIC_RATES:
+        snap = results[("snapshot", rate)]
+        pre = results[("precopy", rate)]
+        rows.append(
+            (
+                int(rate),
+                round(snap["freeze_window"] * 1000, 2),
+                round(pre["freeze_window"] * 1000, 2),
+                round(snap["freeze_window"] / pre["freeze_window"], 1),
+                pre["rounds"],
+                pre["chunks"] - snap["chunks"],
+                snap["updates_lost"],
+                pre["updates_lost"],
+            )
+        )
+    print_block(
+        format_table(
+            f"Figure 10(a) mode axis — freeze window under load ({2 * MODE_CHUNKS} chunks, loss-free)",
+            [
+                "pkts/s",
+                "snapshot freeze (ms)",
+                "precopy freeze (ms)",
+                "shrink (x)",
+                "precopy rounds",
+                "chunks resent",
+                "lost (snap)",
+                "lost (pre)",
+            ],
+            rows,
+        )
+    )
+
+    for rate in TRAFFIC_RATES:
+        # Loss-free must not lose a single update in either mode.
+        assert results[("snapshot", rate)]["updates_lost"] == 0
+        assert results[("precopy", rate)]["updates_lost"] == 0
+    # The acceptance point: >=2x smaller freeze window at the highest rate.
+    top = max(TRAFFIC_RATES)
+    assert results[("precopy", top)]["freeze_window"] * 2 <= results[("snapshot", top)]["freeze_window"]
+    # Pre-copy pays for the shrink with resent chunks (the documented trade).
+    assert results[("precopy", top)]["chunks"] >= results[("snapshot", top)]["chunks"]
+
+
+def main() -> None:
+    """CLI entry point: run the freeze-window series for one mode (``--mode``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Move freeze window under load, snapshot vs pre-copy")
+    parser.add_argument("--mode", default="precopy", choices=["snapshot", "precopy", "both"])
+    parser.add_argument("--chunks", type=int, default=MODE_CHUNKS, help="per-role chunks at the source")
+    args = parser.parse_args()
+    modes = ["snapshot", "precopy"] if args.mode == "both" else [args.mode]
+    rows = []
+    for mode in modes:
+        for rate in TRAFFIC_RATES:
+            result = run_move_under_load(mode, rate, chunk_count=args.chunks)
+            rows.append(
+                (
+                    result["mode"],
+                    int(rate),
+                    round(result["duration"] * 1000, 2),
+                    round(result["freeze_window"] * 1000, 2),
+                    result["rounds"],
+                    result["chunks"],
+                    result["events_buffered"],
+                    result["updates_lost"],
+                )
+            )
+    print_block(
+        format_table(
+            f"moveInternal under load ({2 * args.chunks} chunks, loss-free)",
+            ["mode", "pkts/s", "move (ms)", "freeze (ms)", "rounds", "chunks", "events buffered", "lost"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

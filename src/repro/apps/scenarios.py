@@ -341,6 +341,7 @@ GUARANTEE_SCENARIOS: Dict[str, TransferSpec] = {
     "loss_free_sequential": TransferSpec.sequential(),
     "loss_free_parallel": TransferSpec.parallel(window=8),
     "loss_free_batched": TransferSpec.batched(32),
+    "loss_free_precopy": TransferSpec.precopy(),
     "no_guarantee_batched_early": TransferSpec(
         guarantee=TransferGuarantee.NO_GUARANTEE, batch_size=32, early_release=True
     ),

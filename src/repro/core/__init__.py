@@ -40,7 +40,7 @@ from .state import (
 )
 from .stats import ControllerStats
 from .transaction import StepRecord, StepStatus, Transaction, TransactionHandle
-from .transfer import TransferGuarantee, TransferSpec
+from .transfer import TransferGuarantee, TransferMode, TransferSpec
 
 __all__ = [
     "ControlChannel",
@@ -78,6 +78,7 @@ __all__ = [
     "Transaction",
     "TransactionHandle",
     "TransferGuarantee",
+    "TransferMode",
     "TransferSpec",
     "OpenMBError",
     "StateError",

@@ -508,8 +508,10 @@ class MBController:
         """moveInternal: move per-flow supporting and reporting state from src to dst.
 
         *spec* selects the transfer guarantee (no-guarantee / loss-free /
-        order-preserving) and pipeline optimizations (parallelism, batching,
-        early release); None keeps the seed's loss-free pipelined default.
+        order-preserving), the copy mode (single-pass snapshot or iterative
+        pre-copy with bounded dirty-delta rounds), and pipeline optimizations
+        (parallelism, batching, early release); None keeps the seed's
+        loss-free snapshot pipelined default.
         """
         self._registration(src)
         self._registration(dst)

@@ -14,7 +14,7 @@ import base64
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from .errors import ProtocolError
 from .flowspace import FlowKey, FlowPattern
@@ -35,9 +35,17 @@ class MessageType:
     SET_CONFIG = "set_config"
     DEL_CONFIG = "del_config"
     GET_PERFLOW = "get_perflow"
+    #: Pre-copy delta round: export only the flows dirtied since the last
+    #: drain; with ``final`` set, additionally freeze (mark-transfer) the
+    #: pattern and stop dirty tracking (the stop-and-copy round).
+    GET_PERFLOW_DELTA = "get_perflow_delta"
     PUT_PERFLOW = "put_perflow"
     PUT_PERFLOW_BATCH = "put_perflow_batch"
     DEL_PERFLOW = "del_perflow"
+    #: Install order-preserving packet holds for a list of flows without
+    #: resending their chunks (the pre-copy stop-and-copy covers flows whose
+    #: state is already current at the destination).
+    TRANSFER_HOLD = "transfer_hold"
     TRANSFER_RELEASE = "transfer_release"
     GET_SHARED = "get_shared"
     PUT_SHARED = "put_shared"
@@ -68,6 +76,7 @@ ACKED_REQUESTS = frozenset(
         MessageType.PUT_PERFLOW,
         MessageType.PUT_PERFLOW_BATCH,
         MessageType.DEL_PERFLOW,
+        MessageType.TRANSFER_HOLD,
         MessageType.TRANSFER_RELEASE,
         MessageType.PUT_SHARED,
         MessageType.REPROCESS_PACKET,
@@ -200,45 +209,117 @@ def del_config(mb: str, key: str) -> Message:
     return Message(MessageType.DEL_CONFIG, mb=mb, body={"key": key})
 
 
-def get_perflow(mb: str, role: StateRole, pattern: FlowPattern, *, transfer: bool = False) -> Message:
-    """Request per-flow state; ``transfer=True`` marks exported chunks for re-process events."""
-    return Message(
-        MessageType.GET_PERFLOW,
-        mb=mb,
-        body={"role": role.value, "pattern": encode_pattern(pattern), "transfer": transfer},
-    )
+def get_perflow(
+    mb: str, role: StateRole, pattern: FlowPattern, *, transfer: bool = False, track_dirty: bool = False
+) -> Message:
+    """Request per-flow state; ``transfer=True`` marks exported chunks for re-process events.
+
+    ``track_dirty=True`` is the pre-copy bulk round: instead of marking the
+    flows (freezing them behind event buffering), the source arms dirty-key
+    tracking at the snapshot instant and keeps processing packets normally.
+    The field is omitted from the wire when False so snapshot transfers stay
+    byte-identical to the seed protocol.
+    """
+    body: Dict[str, Any] = {"role": role.value, "pattern": encode_pattern(pattern), "transfer": transfer}
+    if track_dirty:
+        body["track_dirty"] = True
+    return Message(MessageType.GET_PERFLOW, mb=mb, body=body)
 
 
-def put_perflow(mb: str, chunk: StateChunk, *, hold: bool = False, seq: Optional[int] = None) -> Message:
+def get_perflow_delta(
+    mb: str, role: StateRole, pattern: FlowPattern, *, round: Sequence[int], final: bool = False
+) -> Message:
+    """Request the chunks dirtied since the last drain (one pre-copy round).
+
+    ``round`` is the (operation id, round index) pair identifying the round on
+    the wire — observability for traces; the source does not interpret it.
+    The authoritative round tags are stamped by the *controller* onto the
+    round's put messages, where the destination uses them to discard installs
+    a newer round superseded.  With ``final=True`` this is the stop-and-copy
+    round: the source additionally marks every pattern-matching flow for
+    re-process events and stops dirty tracking, so updates from that instant
+    on surface as events.  The reply is a chunk stream followed by
+    GET_COMPLETE carrying the count of pattern-matching flows re-dirtied while
+    the round was being exported (the controller's signal for whether another
+    round is worthwhile).
+    """
+    body: Dict[str, Any] = {
+        "role": role.value,
+        "pattern": encode_pattern(pattern),
+        "round": list(round),
+    }
+    if final:
+        body["final"] = True
+    return Message(MessageType.GET_PERFLOW_DELTA, mb=mb, body=body)
+
+
+def put_perflow(
+    mb: str,
+    chunk: StateChunk,
+    *,
+    hold: bool = False,
+    seq: Optional[int] = None,
+    round: Optional[Sequence[int]] = None,
+) -> Message:
     """Install one per-flow chunk; ``hold=True`` (order-preserving transfers)
     makes the destination queue fresh packets for the flow until its
     TRANSFER_RELEASE arrives.  ``seq`` is the controller's transfer sequence
     token, stamped for wire-level observability; the authoritative
     replay-vs-install ordering uses the controller's ACK-time bookkeeping
-    (see :meth:`MBController.forward_event`)."""
+    (see :meth:`MBController.forward_event`).  ``round`` is the pre-copy round
+    tag — (operation id, round index) — the destination uses to discard puts
+    superseded by a newer round; omitted for snapshot transfers."""
     body: Dict[str, Any] = {"chunk": encode_chunk(chunk)}
     if hold:
         body["hold"] = True
     if seq is not None:
         body["seq"] = seq
+    if round is not None:
+        body["round"] = list(round)
     return Message(MessageType.PUT_PERFLOW, mb=mb, body=body)
 
 
-def put_perflow_batch(mb: str, chunks: list, *, hold: bool = False, seq: Optional[int] = None) -> Message:
+def put_perflow_batch(
+    mb: str,
+    chunks: list,
+    *,
+    hold: bool = False,
+    seq: Optional[int] = None,
+    round: Optional[Sequence[int]] = None,
+) -> Message:
     """Install several per-flow chunks with a single message and a single ACK.
 
     Batching amortises the controller's per-message handling cost across
     ``len(chunks)`` chunks — the bulk-transfer optimization of the
     :class:`~repro.core.transfer.TransferSpec` pipeline.  ``seq`` carries the
     controller's transfer sequence token (wire-level observability; the
-    controller's ACK-time bookkeeping is authoritative for ordering).
+    controller's ACK-time bookkeeping is authoritative for ordering); ``round``
+    is the pre-copy round tag applied to every chunk in the batch.
     """
     body: Dict[str, Any] = {"chunks": [encode_chunk(chunk) for chunk in chunks]}
     if hold:
         body["hold"] = True
     if seq is not None:
         body["seq"] = seq
+    if round is not None:
+        body["round"] = list(round)
     return Message(MessageType.PUT_PERFLOW_BATCH, mb=mb, body=body)
+
+
+def transfer_hold(mb: str, keys: list) -> Message:
+    """Install per-flow packet holds for *keys* at a destination middlebox.
+
+    Used by order-preserving pre-copy transfers at the stop-and-copy freeze:
+    flows that are clean at the freeze get no final-round put (which is how
+    snapshot transfers install holds), yet their fresh packets must still
+    queue behind the ordered replay of post-freeze events.  Every held flow
+    is later lifted by its ``TRANSFER_RELEASE``.
+    """
+    return Message(
+        MessageType.TRANSFER_HOLD,
+        mb=mb,
+        body={"keys": [key.as_dict() for key in keys]},
+    )
 
 
 def transfer_release(mb: str, keys: list) -> Message:
@@ -293,9 +374,24 @@ def disable_events(mb: str, code: str, pattern: Optional[FlowPattern] = None) ->
     return Message(MessageType.DISABLE_EVENTS, mb=mb, body=body)
 
 
-def transfer_end(mb: str) -> Message:
-    """Tell a middlebox an in-progress clone/merge transfer has completed."""
-    return Message(MessageType.TRANSFER_END, mb=mb, body={})
+def transfer_end(mb: str, *, dirty_only: bool = False, shared_only: bool = False) -> Message:
+    """Tell a middlebox an in-progress transfer has ended (scoped resets).
+
+    The unscoped form is the app-facing whole-middlebox reset (clear every
+    per-flow transfer marker and the shared-transfer flag).  Two scoped
+    variants keep concurrent operations' state intact: ``shared_only=True``
+    is what a finalizing clone/merge sends — those operations only ever arm
+    the shared-transfer flag, so they must not clear per-flow markers owned
+    by a concurrent move; ``dirty_only=True`` is the cleanup a failed
+    pre-copy move owes its source — stop dirty tracking, touch nothing else.
+    The flags are omitted from the wire when False.
+    """
+    body: Dict[str, Any] = {}
+    if dirty_only:
+        body["dirty_only"] = True
+    if shared_only:
+        body["shared_only"] = True
+    return Message(MessageType.TRANSFER_END, mb=mb, body=body)
 
 
 # -- batched southbound dispatch ------------------------------------------------------

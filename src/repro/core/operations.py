@@ -40,7 +40,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..net.simulator import Future
@@ -49,7 +49,7 @@ from .events import Event
 from .flowspace import FlowKey, FlowPattern
 from .messages import Message, MessageType
 from .state import StateChunk, StateRole
-from .transfer import TransferGuarantee, TransferSpec
+from .transfer import TransferGuarantee, TransferMode, TransferSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from .controller import MBController
@@ -97,6 +97,18 @@ class OperationRecord:
     parallelism: int = 0
     batch_size: int = 1
     early_release: bool = False
+    #: Copy discipline the operation ran under ("snapshot" or "precopy").
+    mode: str = TransferMode.SNAPSHOT.value
+    #: Pre-copy: copy rounds performed before the stop-and-copy freeze
+    #: (the bulk round counts as one; snapshot operations report 0).
+    precopy_rounds: int = 0
+    #: Per-round measurements: one dict per copy round with ``round``,
+    #: ``chunks``, ``bytes``, ``dirty_after`` (flows re-dirtied while the round
+    #: streamed), ``duration``, and ``final`` (the stop-and-copy round).
+    rounds: List[dict] = field(default_factory=list)
+    #: When the freeze (event-buffering window) began: the operation start for
+    #: snapshot transfers, the stop-and-copy round for pre-copy transfers.
+    freeze_started_at: Optional[float] = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -104,6 +116,18 @@ class OperationRecord:
         if self.completed_at is None:
             return None
         return self.completed_at - self.started_at
+
+    @property
+    def freeze_window(self) -> Optional[float]:
+        """Length of the event-buffering/freeze window (None while running).
+
+        For snapshot moves this equals :attr:`duration`; for pre-copy moves it
+        covers only the final stop-and-copy round — the quantity the pre-copy
+        discipline exists to shrink.
+        """
+        if self.completed_at is None or self.freeze_started_at is None:
+            return None
+        return self.completed_at - self.freeze_started_at
 
 
 class OperationHandle:
@@ -133,6 +157,7 @@ class OperationHandle:
 
     @property
     def op_id(self) -> int:
+        """The operation's controller-assigned identifier."""
         return self.record.op_id
 
 
@@ -173,6 +198,8 @@ class _StatefulOperation:
             parallelism=self.spec.parallelism,
             batch_size=self.spec.batch_size,
             early_release=self.spec.early_release,
+            # PRECOPY with max_rounds=0 degrades to snapshot; record what ran.
+            mode=(TransferMode.PRECOPY if self.spec.is_precopy else TransferMode.SNAPSHOT).value,
         )
         self.handle = OperationHandle(self.sim, self.record)
         self.handle._operation = self
@@ -190,17 +217,21 @@ class _StatefulOperation:
     # -- hooks implemented by subclasses -------------------------------------------
 
     def start(self) -> None:
+        """Issue the operation's first southbound requests."""
         raise NotImplementedError
 
     def on_event(self, event: Event) -> None:
+        """Handle a re-process event routed to this operation."""
         raise NotImplementedError
 
     def _finalize(self) -> None:
+        """Run the post-quiescence step (source delete / transfer end)."""
         raise NotImplementedError
 
     # -- common helpers -------------------------------------------------------------
 
     def _complete(self) -> None:
+        """Resolve the completed (and, if pending, state_installed) futures."""
         if self.handle.completed.done:
             return
         if not self.handle.state_installed.done:
@@ -210,6 +241,7 @@ class _StatefulOperation:
         self._arm_quiescence()
 
     def _fail(self, exc: Exception) -> None:
+        """Fail every unresolved future with *exc* and archive the operation."""
         # Cancel any scheduled quiescence finalisation so the operation cannot
         # be archived a second time after failing.
         self._finalized = True
@@ -257,6 +289,7 @@ class _StatefulOperation:
         return False
 
     def _touch_event_clock(self) -> None:
+        """Note event activity; postpones the quiescence-triggered finalize."""
         self._last_event_at = self.sim.now
 
     def _arm_quiescence(self) -> None:
@@ -267,6 +300,7 @@ class _StatefulOperation:
         self.sim.schedule(self.controller.config.quiescence_timeout, self._quiescence_check)
 
     def _quiescence_check(self) -> None:
+        """Finalize if the operation has been idle for the quiescence timeout."""
         self._finalize_scheduled = False
         if self._finalized:
             return
@@ -282,6 +316,7 @@ class _StatefulOperation:
             )
 
     def _mark_finalized(self) -> None:
+        """Resolve the finalized future and hand the record to the archive."""
         self.record.finalized_at = self.sim.now
         if not self.handle.finalized.done:
             self.handle.finalized.succeed(self.record)
@@ -308,6 +343,12 @@ class ChunkPipeline:
     When the last chunk of a flow is ACKed the pipeline notifies the
     operation (``_flow_acked``), which lets the guarantee policy flush that
     flow's buffered events.
+
+    Pre-copy moves run the same pipeline once per copy round:
+    :meth:`begin_round` re-opens the stream for the next round's chunks and
+    :meth:`enter_final_phase` forgets the per-flow ACK history so the final
+    stop-and-copy round buffers events per flow again (see
+    :meth:`MoveOperation._enter_final_phase`).
     """
 
     def __init__(self, operation: "MoveOperation") -> None:
@@ -325,9 +366,28 @@ class ChunkPipeline:
         self._all_flows: Set[FlowKey] = set()
         self._source_done = False
 
+    # -- pre-copy rounds ---------------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Re-open the chunk stream for the next pre-copy round."""
+        self._source_done = False
+
+    def enter_final_phase(self) -> None:
+        """Forget per-flow ACK history at the stop-and-copy freeze.
+
+        From this instant the guarantee policy must buffer events per flow
+        again: a flow ACKed in an earlier round may receive a final delta
+        chunk, and replaying its events before that chunk installs would let
+        the chunk overwrite the replayed updates.  Flows that get no final
+        chunk have their buffered events flushed when the round drains — by
+        then every final install has been ACKed, so replays order after them.
+        """
+        self._acked_flows.clear()
+
     # -- feeding ---------------------------------------------------------------------
 
     def add_chunk(self, chunk: StateChunk) -> None:
+        """Accept one streamed chunk and dispatch it when the window allows."""
         canonical = chunk.key.bidirectional()
         if canonical in self._acked_flows:
             # A flow's supporting and reporting chunks stream from two
@@ -360,12 +420,17 @@ class ChunkPipeline:
     # -- dispatching ------------------------------------------------------------------
 
     def _window_open(self) -> bool:
+        """True while another put may be issued under the parallelism bound."""
         return self.spec.parallelism == 0 or self._in_flight < self.spec.parallelism
 
     def _dispatch(self) -> None:
+        """Put queued chunks on the wire while the parallelism window allows."""
         if self.op._archived:
             return  # the operation failed; do not keep feeding the destination
-        hold = self.spec.holds_destination_flows
+        # Order-preserving holds apply only once the destination may actually
+        # see live traffic for the flow — i.e. not during pre-copy warm rounds.
+        hold = self.spec.holds_destination_flows and self.op._holds_apply
+        round_tag = self.op._put_round_tag
         while self._queue and self._window_open():
             if self.spec.batch_size > 1:
                 if len(self._queue) < self.spec.batch_size and not self._source_done:
@@ -375,13 +440,13 @@ class ChunkPipeline:
                     for _ in range(min(self.spec.batch_size, len(self._queue)))
                 ]
                 seq = self.op.controller.next_transfer_seq()
-                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold, seq=seq)
+                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold, seq=seq, round=round_tag)
                 keys = tuple(chunk.key.bidirectional() for chunk in batch)
                 self.op.record.batches_sent += 1
             else:
                 chunk = self._queue.popleft()
                 seq = self.op.controller.next_transfer_seq()
-                message = messages.put_perflow(self.op.dst, chunk, hold=hold, seq=seq)
+                message = messages.put_perflow(self.op.dst, chunk, hold=hold, seq=seq, round=round_tag)
                 keys = (chunk.key.bidirectional(),)
             self._in_flight += 1
             self.op.controller.send(
@@ -392,6 +457,7 @@ class ChunkPipeline:
             )
 
     def _on_put_reply(self, message: Message, keys: Tuple[FlowKey, ...]) -> None:
+        """Book an ACK (or fail on ERROR) for the put covering *keys*."""
         if self.op._archived:
             return  # late reply for a failed operation
         if message.type == MessageType.ERROR:
@@ -435,6 +501,7 @@ class GuaranteePolicy:
         self.op = operation
 
     def on_event(self, event: Event) -> None:
+        """Decide the fate of one in-transfer re-process event."""
         raise NotImplementedError
 
     def on_flow_acked(self, canonical: FlowKey) -> None:
@@ -442,6 +509,15 @@ class GuaranteePolicy:
 
     def on_flow_reopened(self, canonical: FlowKey) -> None:
         """A new chunk arrived for a flow that was already ACKed."""
+
+    def on_final_stream_drained(self) -> None:
+        """The final round's stream is fully ACKed; start any per-flow closure.
+
+        Called (possibly repeatedly — implementations must be idempotent)
+        before :attr:`drained` is consulted, so work started here still gates
+        completion.  Order-preserving transfers use it to release the moved
+        flows the final round did not resend.
+        """
 
     def on_transfer_drained(self) -> None:
         """Gets complete and every put ACKed; flush whatever is still held."""
@@ -456,6 +532,7 @@ class NoGuaranteePolicy(GuaranteePolicy):
     """NO_GUARANTEE: in-transfer events are dropped; their updates may be lost."""
 
     def on_event(self, event: Event) -> None:
+        """Drop the event (its update may be lost — the documented trade)."""
         self.op.record.events_dropped += 1
 
 
@@ -473,12 +550,14 @@ class LossFreePolicy(GuaranteePolicy):
         self._buffered: Dict[FlowKey, List[Event]] = {}
 
     def _flow_is_acked(self, canonical: FlowKey) -> bool:
+        """True once every chunk seen for this flow is installed at the destination."""
         # The pipeline's acked set is the single source of truth: a flow drops
         # out of it again when a late chunk (its other state role) reopens it,
         # which automatically resumes buffering here.
         return canonical in self.op.pipeline._acked_flows
 
     def on_event(self, event: Event) -> None:
+        """Buffer the event per flow until its state is ACKed, then forward."""
         key = event.key.bidirectional() if event.key is not None else None
         should_buffer = (
             self.op.controller.config.buffer_events
@@ -493,10 +572,12 @@ class LossFreePolicy(GuaranteePolicy):
             self.op._forward(event)
 
     def on_flow_acked(self, canonical: FlowKey) -> None:
+        """Flush the flow's buffered events now that its state is installed."""
         for event in self._buffered.pop(canonical, []):
             self.op._forward(event)
 
     def on_transfer_drained(self) -> None:
+        """Flush everything still buffered once the whole transfer is installed."""
         # Any events still buffered (their flow's chunk was ACKed in the
         # meantime, or the flow produced no chunk at all) can now be replayed.
         for canonical in list(self._buffered):
@@ -524,6 +605,7 @@ class OrderPreservingPolicy(LossFreePolicy):
         self._reopened: Set[FlowKey] = set()
 
     def on_event(self, event: Event) -> None:
+        """Buffer per flow until the flow is *released*, not merely ACKed."""
         key = event.key.bidirectional() if event.key is not None else None
         if (
             key is None
@@ -539,16 +621,19 @@ class OrderPreservingPolicy(LossFreePolicy):
         self._buffered.setdefault(key, []).append(event)
 
     def on_flow_acked(self, canonical: FlowKey) -> None:
+        """Start the flow's ordered replay-then-release cycle."""
         self._reopened.discard(canonical)
         self._replay_then_release(canonical)
 
     def on_flow_reopened(self, canonical: FlowKey) -> None:
+        """A later chunk re-held the flow; it will need a fresh release."""
         # A later chunk re-installs the destination hold, so the flow needs a
         # fresh release once that chunk is ACKed.
         self._released.discard(canonical)
         self._reopened.add(canonical)
 
     def _replay_then_release(self, canonical: FlowKey) -> None:
+        """Replay the flow's buffered events in order, then lift its hold."""
         if self.op._archived:
             return  # the operation failed; the blanket cleanup release covers dst
         buffered = self._buffered.pop(canonical, [])
@@ -564,6 +649,7 @@ class OrderPreservingPolicy(LossFreePolicy):
             self._send_release(canonical)
 
     def _on_replay_reply(self, canonical: FlowKey, message: Message) -> None:
+        """Count down the flow's in-flight replays; release when they drain."""
         if self.op._archived or message.type not in (MessageType.ACK, MessageType.ERROR):
             return
         remaining = self._replays_pending.get(canonical, 0) - 1
@@ -579,6 +665,7 @@ class OrderPreservingPolicy(LossFreePolicy):
             self._send_release(canonical)
 
     def _send_release(self, canonical: FlowKey) -> None:
+        """Send the flow's TRANSFER_RELEASE (once) and track its ACK."""
         if self.op._archived or canonical in self._releasing or canonical in self._released:
             return
         self._releasing.add(canonical)
@@ -608,8 +695,28 @@ class OrderPreservingPolicy(LossFreePolicy):
             shard=self.op.home_shard,
         )
 
+    def on_final_stream_drained(self) -> None:
+        """Release every moved flow the final round did not resend.
+
+        Flows resent by the final round run the replay-then-release cycle
+        from their put ACKs; flows that were clean at the freeze were held by
+        the blanket TRANSFER_HOLD and would otherwise stay held (and their
+        post-freeze events stay buffered) forever.  Idempotent: flows already
+        released, releasing, or mid-replay are skipped, so snapshot
+        operations — where every flow is released from its ACK — see a no-op.
+        """
+        for canonical in sorted(self.op.pipeline._all_flows):
+            if (
+                canonical in self._released
+                or canonical in self._releasing
+                or canonical in self._replays_pending
+            ):
+                continue
+            self._replay_then_release(canonical)
+
     @property
     def drained(self) -> bool:
+        """True once no replay or release is awaiting a destination ACK."""
         return not self._replays_pending and not self._releasing
 
 
@@ -626,7 +733,22 @@ _POLICIES = {
 
 
 class MoveOperation(_StatefulOperation):
-    """moveInternal: relocate per-flow supporting and reporting state."""
+    """moveInternal: relocate per-flow supporting and reporting state.
+
+    Runs in one of two copy disciplines selected by ``spec.mode``:
+
+    * **snapshot** (the seed, paper Figure 5): one get per role marks every
+      matching flow in-transfer up front, so events buffer for the whole
+      transfer.
+    * **pre-copy** (``spec.is_precopy``): a bulk round streams the state with
+      dirty tracking armed and the source un-frozen; bounded delta rounds
+      resend only the dirtied chunks (round-tagged so stale rounds are
+      superseded at the destination); once the dirty set reported at the end
+      of a round is at most ``spec.dirty_threshold`` — or ``spec.max_rounds``
+      delta rounds have run — a final stop-and-copy round freezes (marks) the
+      flows and moves only the residual delta, shrinking the event-buffering
+      window from O(total state) to O(final dirty set).
+    """
 
     op_type = OperationType.MOVE
 
@@ -643,10 +765,55 @@ class MoveOperation(_StatefulOperation):
         self._gets_complete = False
         self.pipeline = ChunkPipeline(self)
         self.policy: GuaranteePolicy = _POLICIES[self.spec.guarantee](self)
+        #: Pre-copy round state: current round index (0 = bulk), whether the
+        #: stop-and-copy freeze has begun, and per-round measurement scratch.
+        self._precopy = self.spec.is_precopy
+        if self._precopy and any(
+            getattr(operation, "_precopy", False) and not operation._archived
+            for operation in controller._active_by_src.get(src, [])
+        ):
+            # A store has exactly one dirty-tracking context: a second
+            # concurrent pre-copy from the same source would clear — and at
+            # its own freeze, stop — the first move's tracking and silently
+            # lose updates.  Fall back to the snapshot discipline, which
+            # composes with anything.
+            self._precopy = False
+            self.record.mode = TransferMode.SNAPSHOT.value
+        self._round = 0
+        self._in_final_phase = not self._precopy
+        self._round_started_at = self.sim.now
+        self._round_chunks = 0
+        self._round_bytes = 0
+        self._round_dirty: Dict[str, int] = {}
+
+    # -- pre-copy helpers --------------------------------------------------------------
+
+    @property
+    def _holds_apply(self) -> bool:
+        """Order-preserving holds only make sense once the freeze has begun."""
+        return self._in_final_phase
+
+    @property
+    def _put_round_tag(self) -> Optional[Tuple[int, int]]:
+        """Round tag stamped on this round's puts; None keeps snapshot wire identical.
+
+        The tag pairs the operation id with the round index, so it is
+        monotonic across rounds *and* across successive operations touching
+        the same destination flows (a later move's round 0 always supersedes
+        an earlier move's final round).
+        """
+        if not self._precopy:
+            return None
+        return (self.record.op_id, self._round)
 
     # -- starting ---------------------------------------------------------------------
 
     def start(self) -> None:
+        """Issue the first per-role gets (bulk round for pre-copy transfers)."""
+        if self._precopy:
+            self._begin_copy_round()
+            return
+        self.record.freeze_started_at = self.record.started_at
         for role in (StateRole.SUPPORTING, StateRole.REPORTING):
             self._gets_outstanding += 1
             self.controller.send(
@@ -656,17 +823,89 @@ class MoveOperation(_StatefulOperation):
                 shard=self.home_shard,
             )
 
+    def _begin_copy_round(self) -> None:
+        """Start one pre-copy round: bulk (round 0), delta, or final stop-and-copy."""
+        self._round_started_at = self.sim.now
+        self._round_chunks = 0
+        self._round_bytes = 0
+        self._round_dirty = {}
+        self._gets_complete = False
+        self.pipeline.begin_round()
+        for role in (StateRole.SUPPORTING, StateRole.REPORTING):
+            self._gets_outstanding += 1
+            if self._round == 0:
+                message = messages.get_perflow(
+                    self.src, role, self.pattern, transfer=False, track_dirty=True
+                )
+            else:
+                message = messages.get_perflow_delta(
+                    self.src,
+                    role,
+                    self.pattern,
+                    round=(self.record.op_id, self._round),
+                    final=self._in_final_phase,
+                )
+            self.controller.send(self.src, message, on_reply=self._on_src_reply, shard=self.home_shard)
+
+    def _record_round(self, dirty_after: int) -> None:
+        """Archive the finished round's chunk/byte/dirty measurements."""
+        self.record.rounds.append(
+            {
+                "round": self._round,
+                "chunks": self._round_chunks,
+                "bytes": self._round_bytes,
+                "dirty_after": dirty_after,
+                "duration": self.sim.now - self._round_started_at,
+                "final": self._in_final_phase,
+            }
+        )
+
+    def _finish_round_and_advance(self) -> None:
+        """A warm round drained: decide between another delta round and the freeze."""
+        dirty_total = sum(self._round_dirty.values())
+        self._record_round(dirty_total)
+        if dirty_total <= self.spec.dirty_threshold or self._round >= self.spec.max_rounds:
+            self._enter_final_phase()
+        else:
+            self._round += 1
+            self._begin_copy_round()
+
+    def _enter_final_phase(self) -> None:
+        """Begin the stop-and-copy round: freeze the flows, move the residual delta."""
+        self._round += 1
+        self._in_final_phase = True
+        self.record.precopy_rounds = self._round
+        self.record.freeze_started_at = self.sim.now
+        self.pipeline.enter_final_phase()
+        if self.spec.holds_destination_flows and self.pipeline._all_flows:
+            # Order preservation covers every moved flow, but only final-round
+            # puts carry the hold flag and clean flows get no final put.  Hold
+            # them all up front — the channel's FIFO applies this before any
+            # final-round install, replay, or release — and the final-phase
+            # release sweep lifts each one after its ordered replay.
+            self.controller.send(
+                self.dst,
+                messages.transfer_hold(self.dst, sorted(self.pipeline._all_flows)),
+                shard=self.home_shard,
+            )
+        self._begin_copy_round()
+
     # -- source-side replies ------------------------------------------------------------
 
     def _on_src_reply(self, message: Message) -> None:
+        """Absorb the source's chunk stream, round completions, and errors."""
         if self._archived:
             return  # late reply for a failed operation
         if message.type == MessageType.STATE_CHUNK:
             chunk = messages.decode_chunk(message.body["chunk"])
             self.record.chunks_transferred += 1
             self.record.bytes_transferred += chunk.size
+            self._round_chunks += 1
+            self._round_bytes += chunk.size
             self.pipeline.add_chunk(chunk)
         elif message.type == MessageType.GET_COMPLETE:
+            if "dirty" in message.body:
+                self._round_dirty[str(message.body.get("role"))] = int(message.body["dirty"])
             self._gets_outstanding -= 1
             if self._gets_outstanding == 0:
                 self._gets_complete = True
@@ -680,6 +919,7 @@ class MoveOperation(_StatefulOperation):
     # -- failure cleanup -----------------------------------------------------------------
 
     def _fail(self, exc: Exception) -> None:
+        """Release destination holds and stop source-side tracking, then fail."""
         if not self._archived and self.spec.holds_destination_flows:
             # Order-preserving puts installed per-flow packet holds at the
             # destination; release every flow the pipeline touched so a failed
@@ -690,16 +930,33 @@ class MoveOperation(_StatefulOperation):
                 self.dst, messages.transfer_release(self.dst, held), shard=self.home_shard
             ):
                 self.record.releases_sent += 1
+        if not self._archived and self._precopy:
+            # A pre-copy move aborted mid-round leaves the source's dirty
+            # tracking armed; the dirty_only TRANSFER_END stops it without
+            # clearing transfer markers a concurrent operation from the same
+            # source may still rely on.  (Post-freeze markers linger until
+            # the next transfer or delete, exactly like a failed snapshot
+            # move's.)
+            self.controller.try_send(
+                self.src, messages.transfer_end(self.src, dirty_only=True), shard=self.home_shard
+            )
         super()._fail(exc)
 
     # -- pipeline callbacks --------------------------------------------------------------
 
     def _flow_reopened(self, canonical: FlowKey) -> None:
         """A new chunk arrived for a flow whose earlier chunks were ACKed."""
+        if not self._in_final_phase:
+            return  # warm pre-copy rounds carry no event/release obligations
         self.policy.on_flow_reopened(canonical)
 
     def _flow_acked(self, canonical: FlowKey) -> None:
         """All chunks of this flow are installed at the destination."""
+        if not self._in_final_phase:
+            # Warm pre-copy rounds: the flow is not frozen (no buffered events
+            # to flush, no hold to release, no source marker to clear), and a
+            # later round may resend it anyway.
+            return
         self.policy.on_flow_acked(canonical)
         if self.spec.early_release:
             # Clear the flow's transfer marker at the source right away so it
@@ -711,9 +968,13 @@ class MoveOperation(_StatefulOperation):
                 self.record.releases_sent += 1
 
     def _check_complete(self) -> None:
+        """Advance the state machine when the current round's stream has drained."""
         if self.handle.completed.done:
             return
         if not self._gets_complete or not self.pipeline.drained:
+            return
+        if not self._in_final_phase:
+            self._finish_round_and_advance()
             return
         if not self.handle.state_installed.done:
             # Every exported chunk is ACKed at the destination.  Re-routing is
@@ -721,9 +982,12 @@ class MoveOperation(_StatefulOperation):
             # ``completed`` for order-preserving transfers: replays and
             # releases still drain while new routes install.
             self.handle.state_installed.succeed(self.record)
+        self.policy.on_final_stream_drained()
         if not self.policy.drained:
             return
         self.policy.on_transfer_drained()
+        if self._precopy:
+            self._record_round(sum(self._round_dirty.values()))
         self._complete()
 
     # -- events ------------------------------------------------------------------------------
@@ -783,15 +1047,21 @@ class CloneOperation(_StatefulOperation):
             # No per-flow hold exists for shared state, so the operation really
             # runs loss-free; record it as such to keep per-guarantee stats honest.
             spec = replace(spec, guarantee=TransferGuarantee.LOSS_FREE)
+        if spec.mode is TransferMode.PRECOPY:
+            # Shared state is one chunk; there is nothing to iterate over, so
+            # the transfer runs (and is recorded) as a snapshot.
+            spec = replace(spec, mode=TransferMode.SNAPSHOT)
         super().__init__(controller, src, dst, pattern=None, spec=spec)
         self._shared_put_pending = False
         self._buffered_events: List[Event] = []
 
     @property
     def _roles(self) -> List[StateRole]:
+        """Shared-state roles this operation transfers (supporting only)."""
         return [StateRole.SUPPORTING]
 
     def start(self) -> None:
+        """Request the source's shared state for every transferred role."""
         self._gets_outstanding = len(self._roles)
         for role in self._roles:
             self.controller.send(
@@ -802,6 +1072,7 @@ class CloneOperation(_StatefulOperation):
             )
 
     def _on_src_reply(self, message: Message) -> None:
+        """Forward the source's shared chunk to the destination (or fail)."""
         if self._archived:
             return  # late reply for a failed operation
         if message.type == MessageType.SHARED_STATE:
@@ -823,6 +1094,7 @@ class CloneOperation(_StatefulOperation):
             self._fail(OperationError(f"{self.op_type.value} failed at {self.src}: {message.body.get('reason')}"))
 
     def _on_put_reply(self, message: Message) -> None:
+        """Absorb the destination's put ACK and try to complete."""
         if self._archived:
             return  # late reply for a failed operation
         if message.type == MessageType.ERROR:
@@ -837,6 +1109,7 @@ class CloneOperation(_StatefulOperation):
         self._maybe_complete()
 
     def _maybe_complete(self) -> None:
+        """Complete once every get answered and every shared put is ACKed."""
         if self._gets_outstanding == 0 and not self._shared_put_pending:
             for event in self._buffered_events:
                 self._forward(event)
@@ -867,14 +1140,22 @@ class CloneOperation(_StatefulOperation):
             self._forward(event)
 
     def _finalize(self) -> None:
-        """After quiescence: end the transfer at the source (no delete for clones)."""
+        """After quiescence: end the shared transfer at the source (no delete for clones).
+
+        Scoped to the shared flag: a clone/merge never armed per-flow
+        transfer markers, and clearing them here would silently unfreeze a
+        concurrent move's flows at the same source.
+        """
 
         def on_reply(message: Message) -> None:
             if message.type in (MessageType.ACK, MessageType.ERROR):
                 self._mark_finalized()
 
         if not self.controller.try_send(
-            self.src, messages.transfer_end(self.src), on_reply=on_reply, shard=self.home_shard
+            self.src,
+            messages.transfer_end(self.src, shared_only=True),
+            on_reply=on_reply,
+            shard=self.home_shard,
         ):
             # The source was terminated before quiescence; nothing to notify.
             self._mark_finalized()
@@ -893,9 +1174,11 @@ class MergeOperation(CloneOperation):
 
     @property
     def _roles(self) -> List[StateRole]:
+        """Merges transfer both shared supporting and shared reporting state."""
         return [StateRole.SUPPORTING, StateRole.REPORTING]
 
     def _on_src_reply(self, message: Message) -> None:
+        """Put each streamed shared chunk, tracking the outstanding count."""
         if message.type == MessageType.SHARED_STATE:
             chunk = messages.decode_shared_chunk(message.body["chunk"])
             self.record.chunks_transferred += 1
@@ -910,6 +1193,7 @@ class MergeOperation(CloneOperation):
             super()._on_src_reply(message)
 
     def _on_put_reply(self, message: Message) -> None:
+        """Count down the outstanding shared puts before completing."""
         if message.type == MessageType.ACK:
             self._pending_put_count -= 1
             if self._pending_put_count > 0:

@@ -93,16 +93,51 @@ class MiddleboxInterface(abc.ABC):
     # -- per-flow state (sections 4.1.2-4.1.3) ------------------------------------
 
     @abc.abstractmethod
-    def get_perflow(self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False) -> List[StateChunk]:
+    def get_perflow(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        track_dirty: bool = False,
+    ) -> List[StateChunk]:
         """Export sealed per-flow chunks of the given role matching *pattern*.
 
         With ``mark_transfer`` the exported flows are flagged so subsequent
-        packets touching them raise re-process events.
+        packets touching them raise re-process events.  With ``track_dirty``
+        the store instead arms dirty-key tracking at the snapshot instant (the
+        pre-copy bulk round): the flows stay un-frozen and later mutations are
+        recorded for the delta rounds.
         """
 
+    def get_perflow_dirty(
+        self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False
+    ) -> List[StateChunk]:
+        """Export chunks for flows dirtied since the last drain (pre-copy round).
+
+        ``mark_transfer`` makes this the final stop-and-copy round: every flow
+        matching *pattern* is flagged for re-process events and dirty tracking
+        stops.  The default returns nothing, so middleboxes without per-flow
+        stores still accept pre-copy requests (the controller simply sees an
+        always-empty dirty set and freezes immediately).
+        """
+        return []
+
+    def dirty_perflow_count(self, role: StateRole, pattern: Optional[FlowPattern] = None) -> int:
+        """Number of flows currently dirty in the store of the given role.
+
+        With *pattern* the count covers matching flows only (the convergence
+        signal for pattern-restricted pre-copy moves).
+        """
+        return 0
+
     @abc.abstractmethod
-    def put_perflow(self, chunk: StateChunk) -> None:
-        """Import one sealed per-flow chunk."""
+    def put_perflow(self, chunk: StateChunk, *, round: Optional[tuple] = None) -> None:
+        """Import one sealed per-flow chunk.
+
+        ``round`` is the pre-copy round tag; an implementation must drop the
+        chunk when a newer round already installed state for its flow.
+        """
 
     @abc.abstractmethod
     def del_perflow(self, role: StateRole, pattern: FlowPattern) -> int:
@@ -135,6 +170,22 @@ class MiddleboxInterface(abc.ABC):
     @abc.abstractmethod
     def end_transfer(self) -> None:
         """Clear transfer markers set by get operations (clone/merge completion)."""
+
+    def end_dirty_tracking(self) -> None:
+        """Stop pre-copy dirty tracking without touching transfer markers.
+
+        The scoped cleanup a failed pre-copy move owes its source.  Default:
+        no-op, for middleboxes without per-flow stores.
+        """
+
+    def end_shared_transfer(self) -> None:
+        """Clear only the shared-transfer flag (a clone/merge finalizing).
+
+        Per-flow transfer markers — owned by moves — survive.  The default
+        falls back to the whole-middlebox reset for implementations that
+        predate the scoped variant.
+        """
+        self.end_transfer()
 
     def hold_flows(self, keys: List) -> None:
         """Queue fresh packets for *keys* until :meth:`release_flows` is called.
@@ -227,9 +278,11 @@ class SouthboundAgent:
             MessageType.SET_CONFIG: self._handle_set_config,
             MessageType.DEL_CONFIG: self._handle_del_config,
             MessageType.GET_PERFLOW: self._handle_get_perflow,
+            MessageType.GET_PERFLOW_DELTA: self._handle_get_perflow_delta,
             MessageType.PUT_PERFLOW: self._handle_put_perflow,
             MessageType.PUT_PERFLOW_BATCH: self._handle_put_perflow_batch,
             MessageType.DEL_PERFLOW: self._handle_del_perflow,
+            MessageType.TRANSFER_HOLD: self._handle_transfer_hold,
             MessageType.TRANSFER_RELEASE: self._handle_transfer_release,
             MessageType.GET_SHARED: self._handle_get_shared,
             MessageType.PUT_SHARED: self._handle_put_shared,
@@ -305,13 +358,16 @@ class SouthboundAgent:
         role = StateRole(message.body["role"])
         pattern = FlowPattern.parse(message.body.get("pattern"))
         mark_transfer = bool(message.body.get("transfer", False))
+        track_dirty = bool(message.body.get("track_dirty", False))
         costs = self.middlebox.costs
         scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.perflow_count(role)
         self.stats.gets_in_progress += 1
 
         def run_get() -> None:
             try:
-                chunks = self.middlebox.get_perflow(role, pattern, mark_transfer=mark_transfer)
+                chunks = self.middlebox.get_perflow(
+                    role, pattern, mark_transfer=mark_transfer, track_dirty=track_dirty
+                )
             except OpenMBError as exc:
                 self.stats.gets_in_progress -= 1
                 self._error(message, str(exc))
@@ -320,7 +376,46 @@ class SouthboundAgent:
             for index, chunk in enumerate(chunks):
                 self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
             completion_delay = costs.get_per_chunk * len(chunks)
-            self.sim.schedule(completion_delay, self._send_get_complete, message, role, len(chunks))
+            self.sim.schedule(
+                completion_delay,
+                self._send_get_complete,
+                message,
+                role,
+                len(chunks),
+                pattern if track_dirty else None,
+            )
+
+        self.sim.schedule(scan_cost, run_get)
+
+    def _handle_get_perflow_delta(self, message: Message) -> None:
+        """One pre-copy round: stream the dirtied chunks, report residual dirt.
+
+        ``final`` requests the stop-and-copy round (mark-transfer the pattern,
+        stop tracking).  The GET_COMPLETE reply always carries the dirty count
+        *at completion time* — dirt that accumulated while this round was
+        being exported — which is what the controller compares against the
+        spec's ``dirty_threshold``.
+        """
+        role = StateRole(message.body["role"])
+        pattern = FlowPattern.parse(message.body.get("pattern"))
+        final = bool(message.body.get("final", False))
+        costs = self.middlebox.costs
+        scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.perflow_count(role)
+        self.stats.gets_in_progress += 1
+
+        def run_get() -> None:
+            try:
+                chunks = self.middlebox.get_perflow_dirty(role, pattern, mark_transfer=final)
+            except OpenMBError as exc:
+                self.stats.gets_in_progress -= 1
+                self._error(message, str(exc))
+                return
+            for index, chunk in enumerate(chunks):
+                self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
+            completion_delay = costs.get_per_chunk * len(chunks)
+            self.sim.schedule(
+                completion_delay, self._send_get_complete, message, role, len(chunks), pattern
+            )
 
         self.sim.schedule(scan_cost, run_get)
 
@@ -334,24 +429,45 @@ class SouthboundAgent:
         )
         self._send(reply)
 
-    def _send_get_complete(self, request: Message, role: StateRole, count: int) -> None:
+    def _send_get_complete(
+        self, request: Message, role: StateRole, count: int, dirty_pattern: Optional[FlowPattern] = None
+    ) -> None:
         self.stats.gets_in_progress -= 1
+        body = {"role": role.value, "count": count}
+        if dirty_pattern is not None:
+            # Dirt that accumulated while the chunks were being exported —
+            # restricted to the transfer's pattern — is the controller's
+            # signal for whether another pre-copy round pays off.
+            body["dirty"] = self.middlebox.dirty_perflow_count(role, dirty_pattern)
         self._send(
             Message(
                 MessageType.GET_COMPLETE,
                 reply_to=request.xid,
                 mb=self.middlebox.name,
-                body={"role": role.value, "count": count},
+                body=body,
             )
         )
+
+    @staticmethod
+    def _round_tag(message: Message) -> Optional[tuple]:
+        """Decode a put's pre-copy round tag (None for snapshot puts)."""
+        raw = message.body.get("round")
+        return tuple(raw) if raw is not None else None
 
     def _handle_put_perflow(self, message: Message) -> None:
         chunk = messages.decode_chunk(message.body["chunk"])
         hold = bool(message.body.get("hold", False))
+        round_tag = self._round_tag(message)
 
         def respond() -> None:
             try:
-                self.middlebox.put_perflow(chunk)
+                # The round kwarg is only passed when tagged, so middlebox
+                # subclasses that override put_perflow with the legacy
+                # single-argument signature keep working for snapshot puts.
+                if round_tag is None:
+                    self.middlebox.put_perflow(chunk)
+                else:
+                    self.middlebox.put_perflow(chunk, round=round_tag)
             except OpenMBError as exc:
                 self._error(message, str(exc))
                 return
@@ -368,12 +484,16 @@ class SouthboundAgent:
     def _handle_put_perflow_batch(self, message: Message) -> None:
         chunks = [messages.decode_chunk(body) for body in message.body.get("chunks", [])]
         hold = bool(message.body.get("hold", False))
+        round_tag = self._round_tag(message)
 
         def respond() -> None:
             installed = 0
             try:
                 for chunk in chunks:
-                    self.middlebox.put_perflow(chunk)
+                    if round_tag is None:
+                        self.middlebox.put_perflow(chunk)
+                    else:
+                        self.middlebox.put_perflow(chunk, round=round_tag)
                     installed += 1
             except OpenMBError as exc:
                 self.stats.chunks_received += installed
@@ -488,8 +608,24 @@ class SouthboundAgent:
         self._ack(message)
 
     def _handle_transfer_end(self, message: Message) -> None:
-        self.middlebox.end_transfer()
+        if message.body.get("dirty_only", False):
+            # Scoped pre-copy cleanup: stop dirty tracking, leave transfer
+            # markers owned by concurrent operations untouched.
+            self.middlebox.end_dirty_tracking()
+        elif message.body.get("shared_only", False):
+            # A finalizing clone/merge only ever armed the shared flag; it
+            # must not clear per-flow markers owned by a concurrent move.
+            self.middlebox.end_shared_transfer()
+        else:
+            self.middlebox.end_transfer()
         self._ack(message)
+
+    def _handle_transfer_hold(self, message: Message) -> None:
+        from .flowspace import FlowKey
+
+        keys = [FlowKey.from_dict(body) for body in message.body.get("keys", [])]
+        self.middlebox.hold_flows(keys)
+        self._ack(message, {"count": len(keys)})
 
     def _handle_transfer_release(self, message: Message) -> None:
         from .flowspace import FlowKey

@@ -142,6 +142,7 @@ class SharedChunk:
 
     @property
     def size(self) -> int:
+        """Size of the sealed blob in bytes."""
         return len(self.blob)
 
 
@@ -156,6 +157,15 @@ class PerFlowStateStore(Generic[T]):
     prototype, whose get cost grows linearly and dominates put cost).  Passing
     ``indexed=True`` maintains a per-source-address index, used by the
     "indexed get" ablation benchmark.
+
+    The store also supports **versioned dirty-key tracking** for iterative
+    pre-copy transfers: between :meth:`begin_dirty_tracking` and
+    :meth:`end_dirty_tracking`, every mutation (:meth:`put`,
+    :meth:`get_or_create` — whose returned object the caller typically mutates
+    in place — and :meth:`remove`) stamps the flow's canonical key with a
+    monotonically increasing version.  :meth:`drain_dirty` hands the dirtied
+    keys to a delta round in dirtying order and clears them, so the next round
+    starts from a clean slate.
     """
 
     def __init__(
@@ -173,6 +183,89 @@ class PerFlowStateStore(Generic[T]):
         #: Linear-scan step counter; exposed so benchmarks can verify the
         #: access pattern without timing noise.
         self.scan_steps = 0
+        #: Dirty-key tracking (pre-copy transfers): canonical key -> version.
+        self._dirty: Dict[FlowKey, int] = {}
+        self._dirty_version = 0
+        self._tracking_dirty = False
+        #: Pre-copy install ordering at a destination: canonical key -> the
+        #: round tag of the last tagged install; pruned with the entry itself.
+        self._install_rounds: Dict[FlowKey, Tuple[int, ...]] = {}
+
+    # -- dirty tracking --------------------------------------------------------
+
+    @property
+    def tracking_dirty(self) -> bool:
+        """True while mutations are being recorded for a pre-copy transfer."""
+        return self._tracking_dirty
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of flows dirtied since the last drain (0 when not tracking)."""
+        return len(self._dirty)
+
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated flow keys; clears any previous dirty set.
+
+        Called at the instant a pre-copy bulk get snapshots the store, so every
+        later mutation is guaranteed to be either in the snapshot or dirty.
+        """
+        self._tracking_dirty = True
+        self._dirty.clear()
+
+    def end_dirty_tracking(self) -> None:
+        """Stop recording mutations and drop the dirty set (transfer froze)."""
+        self._tracking_dirty = False
+        self._dirty.clear()
+
+    def mark_dirty(self, key: FlowKey) -> None:
+        """Stamp *key* with the next dirty version; no-op unless tracking.
+
+        Middleboxes call this for flows a packet updated in place (mutating an
+        object previously handed out by :meth:`get` / :meth:`get_or_create`
+        leaves no store-level trace, so the data plane reports those updates
+        explicitly via ``ProcessResult.updated_flows``).
+        """
+        if not self._tracking_dirty:
+            return
+        self._dirty_version += 1
+        self._dirty[self.canonical_key(key)] = self._dirty_version
+
+    def dirty_keys(self) -> List[FlowKey]:
+        """Currently dirty canonical keys in dirtying order (oldest first)."""
+        return sorted(self._dirty, key=self._dirty.__getitem__)
+
+    def drain_dirty(self) -> List[FlowKey]:
+        """Return the dirty keys in dirtying order and clear the dirty set.
+
+        A delta round exports exactly these flows; anything dirtied after the
+        drain lands in the next round's set.
+        """
+        keys = self.dirty_keys()
+        self._dirty.clear()
+        return keys
+
+    # -- pre-copy install ordering (destination side) --------------------------
+
+    def install_round(self, key: FlowKey, tag: Tuple[int, ...]) -> bool:
+        """Record a round-tagged install for *key*; False when the tag is stale.
+
+        Tags are (operation id, round index) pairs compared lexicographically,
+        so a later round — or any later operation — supersedes an earlier one.
+        A stale tag leaves the recorded state untouched and the caller must
+        discard the corresponding chunk.  Entries live and die with the flow's
+        state: :meth:`remove` and :meth:`clear` prune them, which keeps the
+        map bounded by the store's resident flows.
+        """
+        canonical = self.canonical_key(key)
+        existing = self._install_rounds.get(canonical)
+        if existing is not None and existing > tag:
+            return False
+        self._install_rounds[canonical] = tag
+        return True
+
+    def clear_install_round(self, key: FlowKey) -> None:
+        """Forget the install tag for one flow (its transfer involvement ended)."""
+        self._install_rounds.pop(self.canonical_key(key), None)
 
     # -- mutation --------------------------------------------------------------
 
@@ -184,6 +277,7 @@ class PerFlowStateStore(Generic[T]):
         """Insert or replace the state object for a flow."""
         key = self.canonical_key(key)
         self._entries[key] = value
+        self.mark_dirty(key)
         if self._indexed:
             self._by_src.setdefault(key.nw_src, set()).add(key)
             self._by_src.setdefault(key.nw_dst, set()).add(key)
@@ -193,16 +287,26 @@ class PerFlowStateStore(Generic[T]):
         return self._entries.get(self.canonical_key(key))
 
     def get_or_create(self, key: FlowKey, factory: Callable[[], T]) -> T:
-        """Return the state object for a flow, creating it via *factory* if missing."""
+        """Return the state object for a flow, creating it via *factory* if missing.
+
+        Counts as a mutation for dirty tracking even when the object already
+        exists: callers use this accessor precisely to update the returned
+        object in place.
+        """
         canonical = self.canonical_key(key)
         if canonical not in self._entries:
             self.put(canonical, factory())
+        else:
+            self.mark_dirty(canonical)
         return self._entries[canonical]
 
     def remove(self, key: FlowKey) -> Optional[T]:
         """Remove and return the state object for a flow (None when absent)."""
         canonical = self.canonical_key(key)
         value = self._entries.pop(canonical, None)
+        self._install_rounds.pop(canonical, None)
+        if value is not None:
+            self.mark_dirty(canonical)
         if value is not None and self._indexed:
             for address in (canonical.nw_src, canonical.nw_dst):
                 keys = self._by_src.get(address)
@@ -213,24 +317,31 @@ class PerFlowStateStore(Generic[T]):
         return value
 
     def clear(self) -> None:
+        """Drop every entry (with its index and install tag); dirty tracking is unaffected."""
         self._entries.clear()
         self._by_src.clear()
+        self._install_rounds.clear()
 
     # -- queries ---------------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of per-flow entries in the store."""
         return len(self._entries)
 
     def __contains__(self, key: FlowKey) -> bool:
+        """Whether the store holds state for the flow (canonical form)."""
         return self.canonical_key(key) in self._entries
 
     def keys(self) -> List[FlowKey]:
+        """The stored canonical flow keys (a copy, safe to mutate around)."""
         return list(self._entries.keys())
 
     def items(self) -> Iterator[Tuple[FlowKey, T]]:
+        """Iterate over a snapshot of (canonical key, state object) pairs."""
         return iter(list(self._entries.items()))
 
     def _check_granularity(self, pattern: FlowPattern) -> None:
+        """Reject patterns finer than the middlebox's per-flow granularity."""
         requested = set(pattern.specified_fields())
         available = set(self.granularity)
         finer = requested - available

@@ -33,6 +33,12 @@ class ControllerStats:
     operations_started: int = 0
     operations_completed: int = 0
     operations_failed: int = 0
+    #: Pre-copy aggregates: copy rounds run before freezes, chunks/bytes
+    #: resent by delta + stop-and-copy rounds (the pre-copy wire overhead).
+    precopy_operations: int = 0
+    precopy_rounds_total: int = 0
+    precopy_delta_chunks: int = 0
+    precopy_delta_bytes: int = 0
     records: List[OperationRecord] = field(default_factory=list)
 
     def archive(self, record: OperationRecord) -> None:
@@ -42,6 +48,13 @@ class ControllerStats:
         self.events_buffered += record.events_buffered
         self.events_forwarded += record.events_forwarded
         self.events_dropped += record.events_dropped
+        if record.mode == "precopy":
+            self.precopy_operations += 1
+            self.precopy_rounds_total += record.precopy_rounds
+            for round_stats in record.rounds:
+                if round_stats.get("round", 0) > 0:
+                    self.precopy_delta_chunks += round_stats.get("chunks", 0)
+                    self.precopy_delta_bytes += round_stats.get("bytes", 0)
 
     # -- queries used by benchmarks and reports --------------------------------------
 
@@ -78,6 +91,47 @@ class ControllerStats:
             summary[guarantee]["mean_duration"] /= count
         return summary
 
+    def records_of_mode(self, mode: str) -> List[OperationRecord]:
+        """Archived operations that ran under the given copy mode."""
+        return [record for record in self.records if record.mode == mode]
+
+    def by_mode(self) -> Dict[str, Dict[str, float]]:
+        """Per-mode aggregates: count, mean duration, mean freeze window, rounds.
+
+        The freeze window is the event-buffering span — the whole operation
+        for snapshot transfers, only the stop-and-copy round for pre-copy
+        transfers — so comparing ``mean_freeze_window`` across the two modes
+        quantifies what the iterative discipline buys.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        durations: Dict[str, int] = {}
+        freezes: Dict[str, int] = {}
+        for record in self.records:
+            bucket = summary.setdefault(
+                record.mode,
+                {
+                    "operations": 0,
+                    "mean_duration": 0.0,
+                    "mean_freeze_window": 0.0,
+                    "rounds": 0,
+                    "events_buffered": 0,
+                },
+            )
+            bucket["operations"] += 1
+            bucket["rounds"] += record.precopy_rounds
+            bucket["events_buffered"] += record.events_buffered
+            if record.duration is not None:
+                bucket["mean_duration"] += record.duration
+                durations[record.mode] = durations.get(record.mode, 0) + 1
+            if record.freeze_window is not None:
+                bucket["mean_freeze_window"] += record.freeze_window
+                freezes[record.mode] = freezes.get(record.mode, 0) + 1
+        for mode, count in durations.items():
+            summary[mode]["mean_duration"] /= count
+        for mode, count in freezes.items():
+            summary[mode]["mean_freeze_window"] /= count
+        return summary
+
     def mean_duration(self, op_type: Optional[OperationType] = None) -> float:
         """Mean completion time of archived operations (seconds), 0.0 when none."""
         durations = [
@@ -110,4 +164,8 @@ class ControllerStats:
             "chunks_transferred": self.total_chunks(),
             "bytes_transferred": self.total_bytes(),
             "mean_move_duration": self.mean_duration(OperationType.MOVE),
+            "precopy_operations": self.precopy_operations,
+            "precopy_rounds_total": self.precopy_rounds_total,
+            "precopy_delta_chunks": self.precopy_delta_chunks,
+            "precopy_delta_bytes": self.precopy_delta_bytes,
         }

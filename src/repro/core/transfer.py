@@ -21,6 +21,23 @@ deployments want to trade consistency for speed, so the controller accepts a
     replayed that flow's buffered events in order and sent a per-flow
     ``TRANSFER_RELEASE``.  Updates are applied in arrival order; slowest.
 
+* a **mode** (:class:`TransferMode`) — how the bulk of the state crosses the
+  wire relative to the freeze point:
+
+  - ``SNAPSHOT``: the seed's single-pass discipline.  One get marks every
+    matching flow as in-transfer up front, so the event-buffering window (the
+    "freeze") spans the *whole* transfer and grows with total state size.
+  - ``PRECOPY``: iterative pre-copy borrowed from live VM migration.  The
+    bulk round streams a snapshot while the source keeps processing packets
+    un-frozen; versioned dirty-key tracking records which flows were updated;
+    up to ``max_rounds`` bounded delta rounds resend only the dirtied chunks
+    (round-tagged so a stale round can never overwrite newer destination
+    state); once the dirty set falls to ``dirty_threshold`` or the round
+    budget is spent, a short stop-and-copy round marks the flows in-transfer
+    and moves only the final dirty delta — the freeze window shrinks from
+    O(total state) to O(final delta).  ``max_rounds=0`` degrades to
+    bit-for-bit ``SNAPSHOT`` behaviour.
+
 * **optimizations** for the chunk pipeline:
 
   - ``parallelism`` — how many put messages may be in flight (unACKed) at
@@ -58,6 +75,18 @@ class TransferGuarantee(enum.Enum):
     ORDER_PRESERVING = "order_preserving"
 
 
+class TransferMode(enum.Enum):
+    """How state crosses the wire relative to the freeze point.
+
+    ``SNAPSHOT`` is the paper's single-pass copy (freeze spans the whole
+    transfer); ``PRECOPY`` streams bulk + bounded dirty-delta rounds first and
+    freezes only for the final delta.  See the module docstring.
+    """
+
+    SNAPSHOT = "snapshot"
+    PRECOPY = "precopy"
+
+
 @dataclass(frozen=True)
 class TransferSpec:
     """How a stateful northbound operation moves its chunks and events.
@@ -73,15 +102,28 @@ class TransferSpec:
     batch_size: int = 1
     #: Release the source's per-flow transfer marker as soon as the flow is moved.
     early_release: bool = False
+    #: Copy discipline: single-pass SNAPSHOT (the seed) or iterative PRECOPY.
+    mode: TransferMode = TransferMode.SNAPSHOT
+    #: Pre-copy only: maximum dirty-delta rounds between the bulk round and the
+    #: final stop-and-copy.  0 degrades PRECOPY to bit-for-bit SNAPSHOT.
+    max_rounds: int = 3
+    #: Pre-copy only: stop iterating (and freeze) once the dirty set is this small.
+    dirty_threshold: int = 0
 
     def __post_init__(self) -> None:
         """Validate field ranges; raises ValueError on malformed specs."""
         if not isinstance(self.guarantee, TransferGuarantee):
             raise ValueError(f"guarantee must be a TransferGuarantee, got {self.guarantee!r}")
+        if not isinstance(self.mode, TransferMode):
+            raise ValueError(f"mode must be a TransferMode, got {self.mode!r}")
         if self.parallelism < 0:
             raise ValueError(f"parallelism must be >= 0, got {self.parallelism}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
+        if self.dirty_threshold < 0:
+            raise ValueError(f"dirty_threshold must be >= 0, got {self.dirty_threshold}")
 
     # -- canned configurations ---------------------------------------------------------
 
@@ -109,6 +151,23 @@ class TransferSpec:
         """Pack *batch_size* chunks per put message, one ACK per batch."""
         return cls(guarantee=guarantee, batch_size=batch_size)
 
+    @classmethod
+    def precopy(
+        cls,
+        max_rounds: int = 3,
+        dirty_threshold: int = 0,
+        guarantee: TransferGuarantee = TransferGuarantee.LOSS_FREE,
+        **fields: Any,
+    ) -> "TransferSpec":
+        """Iterative pre-copy: bulk + dirty-delta rounds, then a short freeze."""
+        return cls(
+            guarantee=guarantee,
+            mode=TransferMode.PRECOPY,
+            max_rounds=max_rounds,
+            dirty_threshold=dirty_threshold,
+            **fields,
+        )
+
     # -- parsing -----------------------------------------------------------------------
 
     @classmethod
@@ -130,6 +189,15 @@ class TransferSpec:
                 known = ", ".join(g.value for g in TransferGuarantee)
                 raise SpecError(f"unknown transfer guarantee {raw!r} (expected one of {known})") from None
 
+        def mode_of(raw: object) -> TransferMode:
+            if isinstance(raw, TransferMode):
+                return raw
+            try:
+                return TransferMode(raw)
+            except ValueError:
+                known = ", ".join(m.value for m in TransferMode)
+                raise SpecError(f"unknown transfer mode {raw!r} (expected one of {known})") from None
+
         if value is None:
             return cls.default()
         if isinstance(value, cls):
@@ -139,15 +207,16 @@ class TransferSpec:
         if isinstance(value, dict):
             fields = dict(value)
             guarantee = guarantee_of(fields.pop("guarantee", TransferGuarantee.LOSS_FREE))
-            known_fields = {"parallelism", "batch_size", "early_release"}
+            mode = mode_of(fields.pop("mode", TransferMode.SNAPSHOT))
+            known_fields = {"parallelism", "batch_size", "early_release", "max_rounds", "dirty_threshold"}
             unknown = sorted(set(fields) - known_fields)
             if unknown:
                 raise SpecError(
                     f"unknown TransferSpec field(s) {', '.join(map(repr, unknown))} "
-                    f"(expected guarantee, {', '.join(sorted(known_fields))})"
+                    f"(expected guarantee, mode, {', '.join(sorted(known_fields))})"
                 )
             try:
-                return cls(guarantee=guarantee, **fields)
+                return cls(guarantee=guarantee, mode=mode, **fields)
             except (TypeError, ValueError) as exc:
                 raise SpecError(f"malformed TransferSpec mapping {value!r}: {exc}") from exc
         raise SpecError(f"cannot interpret {value!r} as a TransferSpec")
@@ -156,12 +225,30 @@ class TransferSpec:
 
     @property
     def holds_destination_flows(self) -> bool:
-        """True when puts must carry the hold flag (order-preserving mode)."""
+        """True when puts must carry the hold flag (order-preserving mode).
+
+        Pre-copy operations apply the hold only to their final stop-and-copy
+        puts (the operation gates it per round); this property states the
+        guarantee-level requirement.
+        """
         return self.guarantee is TransferGuarantee.ORDER_PRESERVING
+
+    @property
+    def is_precopy(self) -> bool:
+        """True when the transfer actually iterates (PRECOPY with rounds > 0).
+
+        ``PRECOPY`` with ``max_rounds=0`` is defined to degrade to bit-for-bit
+        ``SNAPSHOT`` behaviour, so it reports False here.
+        """
+        return self.mode is TransferMode.PRECOPY and self.max_rounds > 0
 
     def describe(self) -> str:
         """Short human-readable tag used in benchmark tables and records."""
         parts = [self.guarantee.value]
+        if self.is_precopy:
+            parts.append(f"precopy{self.max_rounds}")
+            if self.dirty_threshold > 0:
+                parts.append(f"thr{self.dirty_threshold}")
         if self.parallelism == 1:
             parts.append("seq")
         elif self.parallelism > 1:

@@ -83,6 +83,8 @@ class MiddleboxCounters:
     reprocess_events_raised: int = 0
     introspection_events_raised: int = 0
     processing_time_total: float = 0.0
+    #: Pre-copy puts ignored because a newer round already installed the flow.
+    stale_round_puts: int = 0
 
     @property
     def mean_processing_latency(self) -> float:
@@ -198,6 +200,11 @@ class Middlebox(Node, MiddleboxInterface):
         in_port: Optional[int],
         suppress_side_effects: bool,
     ) -> None:
+        # Dirty tracking (pre-copy transfers): flows the packet updated are
+        # marked dirty so the next delta round resends their chunks.  Updates
+        # applied through in-place mutation of objects handed out by the store
+        # leave no store-level trace, hence the explicit marking here.
+        self._mark_dirty_flows(result)
         # Re-process events: raised when the packet updated transferred state.
         if not suppress_side_effects:
             self._maybe_raise_reprocess(packet, result)
@@ -225,6 +232,22 @@ class Middlebox(Node, MiddleboxInterface):
         if not other_ports:
             return None
         return other_ports[0]
+
+    def _mark_dirty_flows(self, result: ProcessResult) -> None:
+        """Mark the packet's updated flows dirty in every tracking store.
+
+        A flow is only marked in a store that actually holds state for it, so
+        a packet updating reporting state does not force a pointless resend of
+        the flow's (untouched) supporting chunk.
+        """
+        if not result.updated_flows:
+            return
+        for store in (self.support_store, self.report_store):
+            if not store.tracking_dirty:
+                continue
+            for key in result.updated_flows:
+                if key in store:
+                    store.mark_dirty(key)
 
     def _maybe_raise_reprocess(self, packet: Packet, result: ProcessResult) -> None:
         keys_in_transfer = [
@@ -317,9 +340,27 @@ class Middlebox(Node, MiddleboxInterface):
             return self.serialize_support, self.deserialize_support
         return self.serialize_report, self.deserialize_report
 
-    def get_perflow(self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False) -> List[StateChunk]:
+    def get_perflow(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        track_dirty: bool = False,
+    ) -> List[StateChunk]:
+        """Export sealed chunks matching *pattern*; optionally mark or track them.
+
+        ``mark_transfer`` flags the exported flows so later packets raise
+        re-process events (the snapshot freeze).  ``track_dirty`` instead arms
+        the store's dirty tracking at the snapshot instant — the pre-copy bulk
+        round, which keeps the source un-frozen.
+        """
         store = self._store_for(role)
         serialize, _ = self._serializer_for(role)
+        if track_dirty:
+            # Arm tracking before the query so every mutation after this
+            # instant is either inside the snapshot or in the dirty set.
+            store.begin_dirty_tracking()
         matches = store.query(pattern)
         chunks: List[StateChunk] = []
         for key, obj in matches:
@@ -331,8 +372,64 @@ class Middlebox(Node, MiddleboxInterface):
         self._note_api_activity(busy)
         return chunks
 
-    def put_perflow(self, chunk: StateChunk) -> None:
+    def get_perflow_dirty(
+        self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False
+    ) -> List[StateChunk]:
+        """Export chunks for the flows dirtied since the last drain (delta round).
+
+        Drains the store's dirty set and exports the entries that still exist
+        and match *pattern* (a dirty flow outside the pattern is re-marked for
+        whoever owns it; a dirty flow that was removed simply has no chunk).
+        With ``mark_transfer`` — the final stop-and-copy — every flow matching
+        *pattern* is additionally flagged for re-process events and dirty
+        tracking stops: updates from this instant on surface as events instead
+        of dirt.
+        """
+        store = self._store_for(role)
+        serialize, _ = self._serializer_for(role)
+        chunks: List[StateChunk] = []
+        for key in store.drain_dirty():
+            if not pattern.matches_either_direction(key):
+                store.mark_dirty(key)  # not ours to move; keep it dirty
+                continue
+            obj = store.get(key)
+            if obj is None:
+                continue  # removed after it was dirtied; nothing to resend
+            chunks.append(self.codec.seal_perflow(key, serialize(key, obj), role))
+        if mark_transfer:
+            for key, _ in store.query(pattern):
+                self._transferred_flows.add(key.bidirectional())
+            store.end_dirty_tracking()
+        busy = self.costs.get_base + self.costs.get_per_chunk * len(chunks)
+        self._note_api_activity(busy)
+        return chunks
+
+    def dirty_perflow_count(self, role: StateRole, pattern: Optional[FlowPattern] = None) -> int:
+        """Flows dirtied (and not yet drained) in the store of the given role.
+
+        With *pattern* only matching flows are counted — the controller's
+        convergence signal for a pattern-restricted pre-copy move must not be
+        inflated by background traffic on flows the move will never transfer.
+        """
+        store = self._store_for(role)
+        if pattern is None or pattern.is_wildcard:
+            return store.dirty_count
+        return sum(1 for key in store.dirty_keys() if pattern.matches_either_direction(key))
+
+    def put_perflow(self, chunk: StateChunk, *, round: Optional[Tuple[int, ...]] = None) -> None:
+        """Install one sealed chunk; *round* is the pre-copy round tag, if any.
+
+        Round tags order pre-copy installs per (role, flow) — the tag lives in
+        the role's store, pruned together with the flow's state: a put tagged
+        with an older round than the one already installed is ignored, so a
+        stale round can never overwrite newer destination state.  Untagged
+        puts (snapshot transfers) always install.
+        """
         store = self._store_for(chunk.role)
+        if round is not None and not store.install_round(chunk.key, tuple(round)):
+            self.counters.stale_round_puts += 1
+            self._note_api_activity(self.costs.put_per_chunk)
+            return
         _, deserialize = self._serializer_for(chunk.role)
         payload = self.codec.unseal_perflow(chunk)
         obj = deserialize(chunk.key, payload)
@@ -415,7 +512,30 @@ class Middlebox(Node, MiddleboxInterface):
         # TRANSFER_END can arrive from an unrelated operation (a clone/merge
         # whose source this middlebox is); only the owning move's per-flow
         # TRANSFER_RELEASE (or its failure cleanup) may lift a hold.
+        # Pre-copy dirty tracking is likewise left alone — it belongs to an
+        # in-flight move from this middlebox and is ended by that move's own
+        # final round (or its scoped failure cleanup, end_dirty_tracking).
         self._transferred_flows.clear()
+        self._shared_transfer_active = False
+
+    def end_dirty_tracking(self) -> None:
+        """Stop pre-copy dirty tracking on both stores (scoped failure cleanup).
+
+        Sent by a pre-copy move that failed mid-round, so the source stops
+        accumulating dirt for a transfer that will never drain it.  Touches
+        nothing else: transfer markers, holds, and install tags owned by
+        concurrent operations survive.
+        """
+        self.support_store.end_dirty_tracking()
+        self.report_store.end_dirty_tracking()
+
+    def end_shared_transfer(self) -> None:
+        """Clear only the shared-transfer flag (a finalizing clone/merge).
+
+        Clone/merge operations never arm per-flow markers, so their
+        post-quiescence TRANSFER_END must not clear markers a concurrent
+        move's freeze depends on.
+        """
         self._shared_transfer_active = False
 
     def hold_flows(self, keys: List[FlowKey]) -> None:
@@ -435,6 +555,8 @@ class Middlebox(Node, MiddleboxInterface):
             canonical = key.bidirectional()
             self._transferred_flows.discard(canonical)
             self._held_flows.discard(canonical)
+            self.support_store.clear_install_round(canonical)
+            self.report_store.clear_install_round(canonical)
             for packet, in_port in self._held_packets.pop(canonical, []):
                 self._process_and_forward(packet, in_port)
 

@@ -117,3 +117,29 @@ class DummyMiddlebox(Middlebox):
         for index in range(count):
             self.sim.schedule(interval * (index + 1), self.generate_reprocess_event, index % max(1, len(self.support_store)))
         return count
+
+    def drive_traffic_at_rate(self, rate_per_second: float, duration: float, *, flows: Optional[int] = None) -> int:
+        """Schedule live packets that update this middlebox's per-flow state.
+
+        Unlike :meth:`generate_events_at_rate` — which fabricates re-process
+        events directly — this drives the real data plane: each packet goes
+        through :meth:`receive`/``process_packet``, incrementing the flow's
+        ``packets`` counter.  During a transfer that makes the updated flows
+        *dirty* (pre-copy rounds) or raises re-process events (after a
+        snapshot get / the pre-copy freeze), so it is the load generator for
+        the move-under-load benchmarks.  Packets round-robin over the first
+        ``flows`` populated flows (default: all of them); returns the number
+        of packets scheduled.
+        """
+        if rate_per_second <= 0 or duration <= 0:
+            return 0
+        pool = flows if flows is not None else max(1, len(self.support_store))
+        interval = 1.0 / rate_per_second
+        count = int(duration * rate_per_second)
+        for index in range(count):
+            key = self.flow_key_for(index % pool)
+            packet = tcp_packet(
+                key.nw_src, key.nw_dst, key.tp_src, key.tp_dst, b"t" * PAPER_EVENT_PAYLOAD_BYTES
+            )
+            self.sim.schedule(interval * (index + 1), self.receive, packet, 0)
+        return count

@@ -212,8 +212,8 @@ class NAT(Middlebox):
             (mapping.external_ip, mapping.external_port): key for key, mapping in self.support_store.items()
         }
 
-    def put_perflow(self, chunk) -> None:  # type: ignore[override]
-        super().put_perflow(chunk)
+    def put_perflow(self, chunk, *, round=None) -> None:  # type: ignore[override]
+        super().put_perflow(chunk, round=round)
         mapping = self.support_store.get(chunk.key)
         if isinstance(mapping, NatMapping):
             self._reverse[(mapping.external_ip, mapping.external_port)] = self.support_store.canonical_key(chunk.key)

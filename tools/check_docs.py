@@ -1,17 +1,21 @@
 #!/usr/bin/env python
 """Documentation checks runnable with the standard library alone.
 
-Two checks, mirroring the CI docs job:
+Three checks, mirroring the CI docs job:
 
 * **docstring coverage** over the public northbound surface (the same
-  modules CI runs ``interrogate --fail-under 90`` on), counted the same way
+  modules CI runs ``interrogate --fail-under 100`` on), counted the same way
   interrogate does with the repo's ``[tool.interrogate]`` settings
   (``ignore-init-method``, ``ignore-nested-functions``, ``ignore-module``
   false so module docstrings count);
 * **markdown link check** over the README and ``docs/``: every relative
-  link must resolve to a file in the repository.
+  link must resolve to a file in the repository;
+* **code-block reference check** over ``docs/``: every ``repro.*`` module or
+  attribute named inside a fenced python code block must actually exist in
+  ``src/`` (imports and dotted references are resolved statically with
+  ``ast``), so the guides cannot drift away from the code they describe.
 
-Exit status is non-zero when either check fails, so the script doubles as a
+Exit status is non-zero when any check fails, so the script doubles as a
 pre-commit / CI gate where interrogate is unavailable.
 """
 
@@ -31,9 +35,11 @@ DOCSTRING_MODULES = [
     "src/repro/core/transaction.py",
     "src/repro/core/transfer.py",
     "src/repro/core/sharding.py",
+    "src/repro/core/operations.py",
+    "src/repro/core/state.py",
 ]
 
-FAIL_UNDER = 90.0
+FAIL_UNDER = 100.0
 
 MARKDOWN_ROOTS = ["README.md", "docs"]
 
@@ -126,11 +132,124 @@ def check_links() -> bool:
     return ok
 
 
+#: Fenced code blocks whose references are verified (```python ... ```).
+_FENCE_RE = re.compile(r"```(?:python|py)\n(.*?)```", re.DOTALL)
+
+#: Dotted repro.* references inside a code block (imports and plain mentions).
+_DOTTED_RE = re.compile(r"\brepro(?:\.\w+)+")
+
+#: Regex fallback for blocks that do not parse as python: single-line
+#: ``from repro.x.y import A, B as C`` (parenthesized imports are handled by
+#: the ast path).
+_FROM_IMPORT_RE = re.compile(r"^\s*from\s+(repro(?:\.\w+)*)\s+import\s+\(?([\w\s,]+)\)?$", re.MULTILINE)
+
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def _module_path(dotted: str) -> Path | None:
+    """Filesystem path of a repro module/package, or None when it doesn't exist."""
+    relative = Path(*dotted.split("."))
+    if (SRC_ROOT / relative).with_suffix(".py").exists():
+        return (SRC_ROOT / relative).with_suffix(".py")
+    if (SRC_ROOT / relative / "__init__.py").exists():
+        return SRC_ROOT / relative / "__init__.py"
+    return None
+
+
+def _top_level_names(module_file: Path) -> set[str]:
+    """Names a module defines or re-exports at top level (classes, defs, assigns, imports)."""
+    tree = ast.parse(module_file.read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _resolve_reference(dotted: str) -> str | None:
+    """Check one dotted ``repro...`` reference; returns an error string or None.
+
+    The longest importable module prefix is located first; the next component
+    (if any) must then be a top-level name in that module.  Deeper components
+    (method names, enum members) are not checked — they would require full
+    inheritance resolution for little extra safety.
+    """
+    parts = dotted.split(".")
+    module_file = None
+    consumed = 0
+    for end in range(len(parts), 0, -1):
+        candidate = _module_path(".".join(parts[:end]))
+        if candidate is not None:
+            module_file = candidate
+            consumed = end
+            break
+    if module_file is None:
+        return f"no module for {dotted!r}"
+    if consumed < len(parts):
+        attribute = parts[consumed]
+        if attribute not in _top_level_names(module_file):
+            return f"{'.'.join(parts[:consumed])} has no attribute {attribute!r} (referenced as {dotted!r})"
+    return None
+
+
+def check_code_blocks() -> bool:
+    """Every repro.* name in a docs/ python code block must exist in src/."""
+    ok = True
+    blocks = 0
+    references = 0
+    for markdown in iter_markdown_files():
+        if markdown.name == "README.md" and markdown.parent == REPO_ROOT:
+            continue  # the check covers docs/; the top-level README has its own style
+        text = markdown.read_text(encoding="utf-8")
+        for block in _FENCE_RE.findall(text):
+            blocks += 1
+            targets = set(_DOTTED_RE.findall(block))
+            try:
+                # Parseable blocks get exact import extraction (including
+                # parenthesized / multi-line from-imports).
+                tree = ast.parse(block)
+            except SyntaxError:
+                for module, imported in _FROM_IMPORT_RE.findall(block):
+                    for name in imported.split(","):
+                        name = name.strip().split(" as ")[0].strip()
+                        if name:
+                            targets.add(f"{module}.{name}")
+            else:
+                for node in ast.walk(tree):
+                    if (
+                        isinstance(node, ast.ImportFrom)
+                        and node.level == 0
+                        and node.module
+                        and node.module.split(".")[0] == "repro"
+                    ):
+                        for alias in node.names:
+                            if alias.name != "*":
+                                targets.add(f"{node.module}.{alias.name}")
+            for dotted in sorted(targets):
+                references += 1
+                error = _resolve_reference(dotted)
+                if error is not None:
+                    print(f"bad code reference in {markdown.relative_to(REPO_ROOT)}: {error}")
+                    ok = False
+    print(f"code blocks: checked {references} repro.* references in {blocks} python blocks")
+    return ok
+
+
 def main() -> int:
-    """Run both checks; returns a shell exit status."""
+    """Run all three checks; returns a shell exit status."""
     docstrings_ok = check_docstrings()
     links_ok = check_links()
-    return 0 if (docstrings_ok and links_ok) else 1
+    code_blocks_ok = check_code_blocks()
+    return 0 if (docstrings_ok and links_ok and code_blocks_ok) else 1
 
 
 if __name__ == "__main__":
