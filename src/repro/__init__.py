@@ -18,9 +18,11 @@ Implementation of a Framework for Software-Defined Middlebox Networking"
   configuration+routing-only control, and Split/Merge-style suspension.
 * :mod:`repro.traffic` — synthetic workload generators and trace replay.
 * :mod:`repro.analysis` — measurement, comparison, and report formatting.
+* :mod:`repro.testing` — the deterministic seeded chaos harness (fault
+  injection, scripted crashes, invariant checking).
 """
 
-from . import analysis, apps, baselines, core, middleboxes, net, traffic
+from . import analysis, apps, baselines, core, middleboxes, net, testing, traffic
 from .core import (
     ControllerConfig,
     FlowKey,
@@ -41,6 +43,7 @@ __all__ = [
     "core",
     "middleboxes",
     "net",
+    "testing",
     "traffic",
     "FlowKey",
     "FlowPattern",

@@ -1,11 +1,12 @@
 """OpenMB core: state taxonomy, southbound and northbound APIs, and the MB controller."""
 
-from .channel import ControlChannel
+from .channel import ControlChannel, FaultPlan, FaultProfile, ScriptedFault
 from .config import HierarchicalConfig
 from .controller import ControllerConfig, MBController
 from .errors import (
     ConfigError,
     GranularityError,
+    InstanceDeadError,
     MiddleboxError,
     NetworkError,
     OpenMBError,
@@ -25,7 +26,7 @@ from .errors import (
 from .events import Event, EventCode, EventFilter
 from .flowspace import FlowKey, FlowPattern, IPv4Prefix
 from .northbound import NorthboundAPI
-from .operations import OperationHandle, OperationRecord, OperationType
+from .operations import OperationHandle, OperationRecord, OperationType, StandbyRetryHandle
 from .sharding import ControllerShard, ShardCoordinator, ShardRing, ShardStats
 from .southbound import MiddleboxInterface, ProcessingCosts, SouthboundAgent
 from .state import (
@@ -44,6 +45,11 @@ from .transfer import TransferGuarantee, TransferMode, TransferSpec
 
 __all__ = [
     "ControlChannel",
+    "FaultPlan",
+    "FaultProfile",
+    "ScriptedFault",
+    "InstanceDeadError",
+    "StandbyRetryHandle",
     "HierarchicalConfig",
     "ControllerConfig",
     "MBController",

@@ -31,7 +31,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from ..net.simulator import Future, Simulator
 from . import messages
 from .channel import DEFAULT_CONTROL_BANDWIDTH, DEFAULT_CONTROL_LATENCY, ControlChannel
-from .errors import OperationAbortedError, OperationError, UnknownMiddleboxError
+from .errors import (
+    InstanceDeadError,
+    OperationAbortedError,
+    OperationError,
+    UnknownMiddleboxError,
+)
 from .events import Event
 from .flowspace import FlowKey, FlowPattern
 from .messages import BATCHABLE_REQUESTS, Message, MessageType
@@ -78,6 +83,18 @@ class ControllerConfig:
     #: (default) disables coalescing entirely (every request is its own
     #: channel message, the seed behaviour).
     dispatch_tick: Optional[float] = None
+    #: Liveness: period of the HEARTBEAT beacons every registered agent sends
+    #: (and of the controller's liveness sweep).  ``None`` (default) disables
+    #: heartbeats entirely — no extra scheduled events, the seed behaviour.
+    #: Note that enabled heartbeats keep the simulator's event queue non-empty
+    #: while instances are registered; drive the clock with ``run(until=...)``
+    #: or ``run_until(future)`` rather than an open-ended ``run()``.
+    heartbeat_interval: Optional[float] = None
+    #: Liveness: silence threshold after which an instance is declared dead
+    #: (its operations abort crash-safe, applications are notified).  Only
+    #: meaningful with ``heartbeat_interval`` set; expressed in seconds of
+    #: simulated time since the last message received from the instance.
+    liveness_timeout: float = 0.01
 
 
 @dataclass
@@ -124,6 +141,10 @@ class MBController:
         #: (destination, canonical flow key) -> sequence token of the last
         #: ACKed per-flow state install at that destination.
         self._installed_state: Dict[Tuple[str, FlowKey], int] = {}
+        #: Liveness: last simulated time any message arrived from each
+        #: registered middlebox, and whether the periodic sweep is scheduled.
+        self._last_seen: Dict[str, float] = {}
+        self._liveness_sweep_armed = False
 
     # -- registration -----------------------------------------------------------------------
 
@@ -145,17 +166,31 @@ class MBController:
         channel.bind_controller(lambda message, mb=middlebox.name: self._receive(mb, message))
         agent = SouthboundAgent(self.sim, middlebox, channel)
         self._registrations[middlebox.name] = _Registration(middlebox, channel, agent)
+        if self.config.heartbeat_interval is not None:
+            self._last_seen[middlebox.name] = self.sim.now
+            agent.start_heartbeats(self.config.heartbeat_interval)
+            self._arm_liveness_sweep()
         return channel
 
-    def unregister(self, name: str) -> None:
+    def unregister(self, name: str, *, dead: bool = False) -> None:
         """Remove a middlebox (e.g. after scale-down terminates the instance).
 
         Drops the registration, any in-flight reply routing for the removed
         middlebox, and the channel's controller binding, so late replies and
         events from the terminated instance are discarded instead of being
-        dispatched through stale handlers.
+        dispatched through stale handlers.  ``dead`` marks a crash (the
+        instance vanished rather than being terminated on purpose): in-flight
+        operations then fail with :class:`InstanceDeadError` instead of
+        :class:`UnknownMiddleboxError`.
+
+        Either way the orphaned instance object is purged of transfer
+        involvement afterwards: the failing operations' cleanup messages can
+        no longer be delivered to it, so packet holds, queued packets, and
+        pre-copy install-round tags are dropped locally instead of leaking.
         """
         registration = self._registrations.pop(name, None)
+        exc_type = InstanceDeadError if dead else UnknownMiddleboxError
+        verb = "died" if dead else "was unregistered"
         # Operations still transferring state through the removed middlebox can
         # never finish (their replies are about to be discarded): fail them now
         # rather than leaving their futures pending forever.  Operations that
@@ -165,20 +200,102 @@ class MBController:
             for operation in list(operations):
                 if name in (operation.src, operation.dst) and not operation.handle.completed.done:
                     operation._fail(
-                        UnknownMiddleboxError(
-                            f"middlebox {name!r} was unregistered during {operation.record.type.value}"
-                        )
+                        exc_type(f"middlebox {name!r} {verb} during {operation.record.type.value}")
                     )
         self._active_by_src.pop(name, None)
         for key in [key for key in self._reply_handlers if key[0] == name]:
             del self._reply_handlers[key]
         self._outbox.pop(name, None)
         self._flush_scheduled.discard(name)
+        self._last_seen.pop(name, None)
         if registration is not None:
+            registration.agent.stop_heartbeats()
             registration.channel.unbind_controller()
+            # Tear down the delivery direction too: control requests still in
+            # flight towards the instance are discarded, not processed — an
+            # unregistered instance must not install late chunks (re-creating
+            # the round tags and holds the purge below removes).
+            registration.channel.set_middlebox_down()
+            registration.middlebox.purge_transfer_state()
+
+    # -- liveness ---------------------------------------------------------------------
+
+    def kill(self, name: str, *, declare: bool = True) -> bool:
+        """Crash a middlebox instance: sever its channel as if the process died.
+
+        In-flight deliveries to the instance are discarded, its heartbeats
+        stop, and retransmissions towards it are abandoned.  With ``declare``
+        (the default) the controller also declares the instance dead
+        immediately; with ``declare=False`` the crash is only discovered by
+        the liveness sweep once the instance misses its heartbeat deadline —
+        the realistic failure-detection path.  When no liveness sweep exists
+        (``heartbeat_interval`` unset), ``declare=False`` is overridden: a
+        silent crash would otherwise never be discovered and every operation
+        touching the instance would hang forever.  Returns False when *name*
+        is not registered.
+        """
+        registration = self._registrations.get(name)
+        if registration is None:
+            return False
+        registration.agent.stop_heartbeats()
+        registration.channel.set_middlebox_down()
+        self.stats.instances_killed += 1
+        if declare or self.config.heartbeat_interval is None:
+            self.declare_dead(name, reason="killed")
+        return True
+
+    def declare_dead(self, name: str, reason: str = "liveness timeout") -> bool:
+        """Declare a registered instance dead: crash-safe abort + notification.
+
+        Every in-flight operation touching the instance fails with
+        :class:`InstanceDeadError` (standby retries catch exactly this), the
+        orphaned instance object is purged of transfer involvement (no leaked
+        holds or round tags), and applications subscribed to introspection
+        events receive an ``openmb.instance_down`` event so failover logic
+        can react.  Returns False when *name* is not registered.
+        """
+        if name not in self._registrations:
+            return False
+        self.stats.instances_declared_dead += 1
+        self.unregister(name, dead=True)
+        from .events import EventCode
+
+        event = Event(
+            mb_name=name,
+            code=EventCode.INSTANCE_DOWN,
+            values={"reason": reason},
+            raised_at=self.sim.now,
+        )
+        for subscriber in self._event_subscribers:
+            subscriber(event)
+        return True
+
+    def _arm_liveness_sweep(self) -> None:
+        """Schedule the periodic liveness check (one timer at a time)."""
+        if self._liveness_sweep_armed or self.config.heartbeat_interval is None:
+            return
+        self._liveness_sweep_armed = True
+        self.sim.schedule(self.config.heartbeat_interval, self._liveness_sweep)
+
+    def _liveness_sweep(self) -> None:
+        """Declare dead every instance silent for longer than the timeout."""
+        self._liveness_sweep_armed = False
+        if self.config.heartbeat_interval is None:
+            return
+        deadline = self.sim.now - self.config.liveness_timeout
+        for name in [name for name, seen in self._last_seen.items() if seen < deadline]:
+            self.declare_dead(name)
+        # The sweep stays armed only while instances remain registered, so an
+        # emptied controller lets the simulator's event queue drain.
+        if self._registrations:
+            self._arm_liveness_sweep()
 
     def middlebox_names(self) -> List[str]:
         return sorted(self._registrations)
+
+    def is_registered(self, name: str) -> bool:
+        """Whether a middlebox of that name is currently registered (and alive)."""
+        return name in self._registrations
 
     def channel_for(self, name: str) -> ControlChannel:
         return self._registration(name).channel
@@ -288,6 +405,12 @@ class MBController:
     def _receive(self, mb_name: str, message: Message) -> None:
         """Entry point for every message arriving from a middlebox."""
         self.stats.messages_received += 1
+        if mb_name in self._last_seen:
+            # Any received message proves liveness, not just heartbeats.
+            self._last_seen[mb_name] = self.sim.now
+        if message.type == MessageType.HEARTBEAT:
+            self.stats.heartbeats_received += 1
+            return  # liveness beacon only; nothing to dispatch
         shard = self._shard_for_message(mb_name, message)
         cost = self.config.per_event_cost if message.type == MessageType.EVENT else self.config.per_message_cost
         shard.on_cpu(cost, lambda: self._dispatch(mb_name, message, shard))
@@ -503,7 +626,13 @@ class MBController:
     # -- stateful northbound operations --------------------------------------------------------------------
 
     def move_internal(
-        self, src: str, dst: str, pattern: FlowPattern, spec: Optional[TransferSpec] = None
+        self,
+        src: str,
+        dst: str,
+        pattern: FlowPattern,
+        spec: Optional[TransferSpec] = None,
+        *,
+        standby: Optional[str] = None,
     ) -> OperationHandle:
         """moveInternal: move per-flow supporting and reporting state from src to dst.
 
@@ -512,9 +641,20 @@ class MBController:
         pre-copy with bounded dirty-delta rounds), and pipeline optimizations
         (parallelism, batching, early release); None keeps the seed's
         loss-free snapshot pipelined default.
+
+        *standby* names a registered fallback destination: when the primary
+        destination dies (crash or unregister) mid-move, the move is retried
+        from scratch against the standby instead of failing outright — the
+        source's state is untouched by the failed attempt, so the retry is
+        loss-free.  The returned handle then aggregates both attempts.
         """
         self._registration(src)
         self._registration(dst)
+        if standby is not None:
+            self._registration(standby)
+            from .operations import StandbyRetryHandle
+
+            return StandbyRetryHandle(self, src, dst, pattern, spec, standby)
         operation = MoveOperation(self, src, dst, pattern, spec)
         return self._start(operation)
 

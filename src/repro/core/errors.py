@@ -86,6 +86,14 @@ class UnknownMiddleboxError(OperationError):
     """A northbound call referenced a middlebox not registered with the controller."""
 
 
+class InstanceDeadError(UnknownMiddleboxError):
+    """A middlebox instance crashed (or missed its liveness deadline) mid-operation.
+
+    Derives from :class:`UnknownMiddleboxError` so every existing
+    unregistered-mid-operation handler — including the standby-retry path —
+    treats a crash exactly like a disappearance."""
+
+
 class NetworkError(OpenMBError):
     """The SDN substrate could not satisfy a routing request."""
 

@@ -38,6 +38,9 @@ class EventCode:
     STATE_UPDATED = "openmb.state_updated"
     #: Generic "state removed" introspection code prefix.
     STATE_REMOVED = "openmb.state_removed"
+    #: Controller-originated: a middlebox instance was declared dead (crash or
+    #: missed liveness deadline).  ``values["reason"]`` carries the cause.
+    INSTANCE_DOWN = "openmb.instance_down"
 
 
 @dataclass

@@ -66,6 +66,14 @@ class MessageType:
 
     # middlebox -> controller notifications
     EVENT = "event"
+    #: Periodic liveness beacon (middlebox -> controller); carries no body.
+    #: The controller refreshes the sender's last-seen clock and drops it.
+    HEARTBEAT = "heartbeat"
+
+    # channel-level control (never dispatched to the controller or agent)
+    #: Cumulative acknowledgement of the reliable channel layer: ``body.cum``
+    #: is the highest channel sequence number (``cseq``) delivered in order.
+    CHAN_ACK = "chan_ack"
 
 
 #: Request types whose ACK the controller waits for.
@@ -97,12 +105,19 @@ class Message:
     reply_to: Optional[int] = None
     mb: str = ""
     body: Dict[str, Any] = field(default_factory=dict)
+    #: Channel sequence number stamped by the reliable delivery layer
+    #: (:class:`~repro.core.channel.ControlChannel` with ``reliable=True``).
+    #: Omitted from the wire when None, so the seed protocol is byte-identical
+    #: whenever reliability is off.
+    cseq: Optional[int] = None
 
     def as_wire(self) -> Dict[str, Any]:
         """Return the JSON-serialisable wire dict (used directly for batch frames)."""
         wire: Dict[str, Any] = {"type": self.type, "xid": self.xid, "mb": self.mb, "body": self.body}
         if self.reply_to is not None:
             wire["reply_to"] = self.reply_to
+        if self.cseq is not None:
+            wire["cseq"] = self.cseq
         return wire
 
     @classmethod
@@ -117,6 +132,7 @@ class Message:
             reply_to=wire.get("reply_to"),
             mb=wire.get("mb", ""),
             body=wire.get("body", {}),
+            cseq=wire.get("cseq"),
         )
 
     def encode(self) -> bytes:
@@ -392,6 +408,20 @@ def transfer_end(mb: str, *, dirty_only: bool = False, shared_only: bool = False
     if shared_only:
         body["shared_only"] = True
     return Message(MessageType.TRANSFER_END, mb=mb, body=body)
+
+
+def chan_ack(channel_name: str, cumulative: int) -> Message:
+    """Channel-layer cumulative ack: every cseq up to *cumulative* was delivered.
+
+    Consumed by the :class:`~repro.core.channel.ControlChannel` itself — the
+    controller and southbound agent never see these frames.
+    """
+    return Message(MessageType.CHAN_ACK, mb=channel_name, body={"cum": cumulative})
+
+
+def heartbeat(mb: str) -> Message:
+    """Liveness beacon a middlebox agent sends on its heartbeat interval."""
+    return Message(MessageType.HEARTBEAT, mb=mb)
 
 
 # -- batched southbound dispatch ------------------------------------------------------

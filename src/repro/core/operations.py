@@ -86,6 +86,10 @@ class OperationRecord:
     events_buffered: int = 0
     events_forwarded: int = 0
     events_dropped: int = 0
+    #: Events raised before this operation started (stale markers left by a
+    #: failed predecessor move): their updates are already inside this
+    #: operation's snapshot, so replaying them would double-apply.
+    events_stale: int = 0
     puts_acked: int = 0
     batches_sent: int = 0
     releases_sent: int = 0
@@ -159,6 +163,161 @@ class OperationHandle:
     def op_id(self) -> int:
         """The operation's controller-assigned identifier."""
         return self.record.op_id
+
+
+class StandbyRetryHandle:
+    """Handle facade over a move that retries onto a standby destination.
+
+    Crash-safe moves (``move_internal(..., standby=...)``) return this instead
+    of a plain :class:`OperationHandle`.  It mirrors the handle surface —
+    ``record`` / ``op_id`` / ``state_installed`` / ``completed`` /
+    ``finalized`` — but the futures are *outer* futures: when the primary
+    destination dies mid-move (:class:`~repro.core.errors.UnknownMiddleboxError`,
+    which covers both crashes and unregisters) while the source and the
+    standby are still alive, a fresh move is started against the standby and
+    the outer futures resolve with the retry's outcome.  The retry is
+    loss-free because a failed move never deletes (or finalises) anything at
+    the source: the second attempt re-exports the full, current state.
+    """
+
+    def __init__(
+        self,
+        controller: "MBController",
+        src: str,
+        dst: str,
+        pattern: Optional[FlowPattern],
+        spec: Optional[TransferSpec],
+        standby: str,
+    ) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.src = src
+        self.pattern = pattern
+        self.spec = spec
+        self.standby = standby
+        #: Per-attempt inner handles, primary first.
+        self.attempts: List[OperationHandle] = []
+        self.retried = False
+        #: True between the retry decision and the standby attempt's launch
+        #: (the window where the source's marker release is still in flight).
+        self._awaiting_retry = False
+        self.state_installed: Future = self.sim.event(name=f"moveInternal[{src}->{dst}|{standby}].installed")
+        self.completed: Future = self.sim.event(name=f"moveInternal[{src}->{dst}|{standby}]")
+        self.finalized: Future = self.sim.event(name=f"moveInternal[{src}->{dst}|{standby}].finalized")
+        self._start_attempt(dst)
+
+    # -- handle surface ------------------------------------------------------------
+
+    @property
+    def record(self) -> OperationRecord:
+        """The current (latest) attempt's measurements."""
+        return self.attempts[-1].record
+
+    @property
+    def op_id(self) -> int:
+        """The current attempt's controller-assigned operation id."""
+        return self.attempts[-1].op_id
+
+    @property
+    def _operation(self):
+        """Abort plumbing: transactions abort whichever attempt is current."""
+        return self.attempts[-1]._operation
+
+    # -- attempt wiring ------------------------------------------------------------
+
+    def _start_attempt(self, dst: str) -> None:
+        """Launch one inner move and chain its futures to the outer ones."""
+        self._awaiting_retry = False
+        handle = self.controller.move_internal(self.src, dst, self.pattern, self.spec)
+        self.attempts.append(handle)
+        handle.state_installed.add_done_callback(self._on_installed)
+        handle.completed.add_done_callback(lambda future, h=handle: self._on_completed(h, future))
+        handle.finalized.add_done_callback(lambda future, h=handle: self._on_finalized(h, future))
+
+    def _on_installed(self, future: Future) -> None:
+        """Propagate the first successful install point to the outer future."""
+        if future.exception is None and not self.state_installed.done:
+            self.state_installed.succeed(future.result)
+
+    def _should_retry(self, exc: BaseException) -> bool:
+        """Retry exactly once, when the dst died but src and standby live on."""
+        from .errors import UnknownMiddleboxError
+
+        if self.retried or not isinstance(exc, UnknownMiddleboxError):
+            return False
+        failed_dst = self.attempts[-1].record.dst
+        return (
+            failed_dst != self.standby
+            and not self.controller.is_registered(failed_dst)
+            and self.controller.is_registered(self.src)
+            and self.controller.is_registered(self.standby)
+        )
+
+    def _on_completed(self, handle: OperationHandle, future: Future) -> None:
+        """Resolve the outer completion — or launch the standby retry."""
+        if handle is not self.attempts[-1]:
+            return  # a superseded attempt; its outcome no longer matters
+        if future.exception is None:
+            if not self.completed.done:
+                self.completed.succeed(future.result)
+            return
+        if self._should_retry(future.exception):
+            self.retried = True
+            self._awaiting_retry = True
+            self.controller.stats.standby_retries += 1
+            self._retry_after_source_release()
+            return
+        if not self.state_installed.done:
+            self.state_installed.fail(future.exception)
+        if not self.completed.done:
+            self.completed.fail(future.exception)
+
+    def _retry_after_source_release(self) -> None:
+        """Launch the standby attempt once the source confirmed the marker release.
+
+        The failed attempt left (and its failure cleanup releases) per-flow
+        transfer markers at the source.  Events those stale markers raise
+        before the release lands carry updates the retry's snapshot will
+        already contain — replaying them would double-apply.  Waiting for the
+        ACK of a (second, idempotent) release closes the window exactly: the
+        source's channel is FIFO in both directions, so every stale-marker
+        event is dispatched at the controller *before* this ACK — while no
+        retry operation exists to buffer it — and no event can be raised
+        after the release applied.
+        """
+        operation = self.attempts[-1]._operation
+        flows = sorted(operation.pipeline._all_flows) if operation is not None else []
+        started = {"done": False}
+
+        def begin(_message: Optional[Message] = None) -> None:
+            if started["done"]:
+                return
+            started["done"] = True
+            self._start_attempt(self.standby)
+
+        if not flows or not self.controller.try_send(
+            self.src, messages.transfer_release(self.src, flows), on_reply=begin
+        ):
+            begin()
+
+    def _on_finalized(self, handle: OperationHandle, future: Future) -> None:
+        """Propagate the *current* attempt's finalisation to the outer future."""
+        # _fail resolves completed before finalized, so by the time a failing
+        # attempt's finalized callback runs, a retry has already replaced it
+        # at attempts[-1] (or is pending behind the source-release ACK) and
+        # this guard skips the stale notification.
+        if handle is not self.attempts[-1] or self._awaiting_retry:
+            return
+        if future.exception is None:
+            if not self.finalized.done:
+                self.finalized.succeed(future.result)
+            return
+        if not self.state_installed.done:
+            self.state_installed.fail(future.exception)
+        if not self.completed.done:
+            self.completed.fail(future.exception)
+        if not self.finalized.done:
+            self.finalized.fail(future.exception)
 
 
 class _StatefulOperation:
@@ -934,11 +1093,21 @@ class MoveOperation(_StatefulOperation):
             # A pre-copy move aborted mid-round leaves the source's dirty
             # tracking armed; the dirty_only TRANSFER_END stops it without
             # clearing transfer markers a concurrent operation from the same
-            # source may still rely on.  (Post-freeze markers linger until
-            # the next transfer or delete, exactly like a failed snapshot
-            # move's.)
+            # source may still rely on.
             self.controller.try_send(
                 self.src, messages.transfer_end(self.src, dirty_only=True), shard=self.home_shard
+            )
+        if not self._archived and self.pipeline._all_flows:
+            # Clear this move's per-flow transfer markers at the source.  A
+            # dead transfer must not keep the flows frozen: their re-process
+            # events would stream to a destination that will never install
+            # the state, and a standby retry would double-apply updates its
+            # own snapshot already contains.  Scoped to the flows this move
+            # exported, so markers owned by concurrent operations survive.
+            self.controller.try_send(
+                self.src,
+                messages.transfer_release(self.src, sorted(self.pipeline._all_flows)),
+                shard=self.home_shard,
             )
         super()._fail(exc)
 
@@ -993,7 +1162,19 @@ class MoveOperation(_StatefulOperation):
     # -- events ------------------------------------------------------------------------------
 
     def on_event(self, event: Event) -> None:
-        """Handle a re-process event raised by the source middlebox."""
+        """Handle a re-process event raised by the source middlebox.
+
+        Events raised at or before the operation's start are discarded: the
+        flows must have been marked by an *earlier* transfer (this one arms
+        its own markers only after it starts), so the event's update was
+        applied at the source before this operation's snapshot was taken and
+        is already inside it.  Replaying such an event — the standby-retry
+        race, where a retry inherits in-flight events of the attempt it
+        replaces — would double-apply the update at the destination.
+        """
+        if event.raised_at <= self.record.started_at:
+            self.record.events_stale += 1
+            return
         self.record.events_received += 1
         self._touch_event_clock()
         self.policy.on_event(event)

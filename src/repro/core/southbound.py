@@ -204,6 +204,18 @@ class MiddleboxInterface(abc.ABC):
         so they stop raising re-process events.  Default: no-op.
         """
 
+    def purge_transfer_state(self) -> int:
+        """Drop all transfer involvement locally (crash/teardown cleanup).
+
+        The controller calls this when the instance is unregistered or
+        declared dead mid-operation: holds, queued packets, install-round
+        tags, dirty tracking, and transfer markers must not outlive the
+        operations that owned them.  Returns the number of queued packets
+        discarded; the default (for middleboxes without a data plane) is a
+        no-op.
+        """
+        return 0
+
     @abc.abstractmethod
     def reprocess(self, packet: Packet, *, shared: bool) -> None:
         """Re-process a replayed packet to update state, suppressing side effects."""
@@ -240,8 +252,39 @@ class SouthboundAgent:
         # The middlebox handles state-import work sequentially (a single control
         # thread in the paper's prototype), so puts queue behind one another.
         self._import_free_at = 0.0
+        #: Liveness beacon period; None (the default) sends no heartbeats, so
+        #: the seed's event schedule is untouched unless liveness is enabled.
+        self._heartbeat_interval: Optional[float] = None
         channel.bind_middlebox(self.handle_message)
         middlebox.set_event_sink(self.send_event)
+
+    # -- liveness ----------------------------------------------------------------------
+
+    def start_heartbeats(self, interval: float) -> None:
+        """Begin sending periodic HEARTBEAT beacons to the controller.
+
+        The loop stops by itself when the instance crashes or is unregistered,
+        so a dead agent cannot keep the simulator's event queue alive.
+        """
+        if self._heartbeat_interval is not None:
+            self._heartbeat_interval = interval
+            return
+        self._heartbeat_interval = interval
+        self.sim.schedule(interval, self._heartbeat_tick)
+
+    def stop_heartbeats(self) -> None:
+        """Stop the heartbeat loop (instance terminated or crashed)."""
+        self._heartbeat_interval = None
+
+    def _heartbeat_tick(self) -> None:
+        """Send one beacon and reschedule, unless the agent is dead/detached."""
+        if self._heartbeat_interval is None:
+            return
+        if self.channel.middlebox_down or self.channel.controller_detached:
+            self._heartbeat_interval = None
+            return
+        self.channel.send_to_controller(messages.heartbeat(self.middlebox.name))
+        self.sim.schedule(self._heartbeat_interval, self._heartbeat_tick)
 
     # -- middlebox -> controller -------------------------------------------------------
 

@@ -267,6 +267,22 @@ class PerFlowStateStore(Generic[T]):
         """Forget the install tag for one flow (its transfer involvement ended)."""
         self._install_rounds.pop(self.canonical_key(key), None)
 
+    def clear_install_rounds(self) -> int:
+        """Drop every pre-copy install tag (crash/teardown cleanup); returns count.
+
+        Used when the instance's transfer involvement ends wholesale — the
+        middlebox crashed or was unregistered mid-transfer — so no orphaned
+        ``(op_id, round)`` tags survive an operation that will never release
+        them."""
+        count = len(self._install_rounds)
+        self._install_rounds.clear()
+        return count
+
+    @property
+    def install_round_count(self) -> int:
+        """Number of flows currently carrying a pre-copy install tag."""
+        return len(self._install_rounds)
+
     # -- mutation --------------------------------------------------------------
 
     def canonical_key(self, key: FlowKey) -> FlowKey:

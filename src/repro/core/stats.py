@@ -30,6 +30,13 @@ class ControllerStats:
     events_buffered: int = 0
     events_dropped: int = 0
     introspection_events: int = 0
+    #: Liveness: heartbeat beacons received, instances crashed via ``kill``,
+    #: and instances declared dead (by the sweep or an explicit declaration).
+    heartbeats_received: int = 0
+    instances_killed: int = 0
+    instances_declared_dead: int = 0
+    #: Moves re-driven onto a standby destination after the primary died.
+    standby_retries: int = 0
     operations_started: int = 0
     operations_completed: int = 0
     operations_failed: int = 0

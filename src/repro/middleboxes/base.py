@@ -80,6 +80,9 @@ class MiddleboxCounters:
     bytes_received: int = 0
     reprocessed_packets: int = 0
     packets_held: int = 0
+    #: Held packets discarded by a crash/teardown purge (they died with the
+    #: instance — the chaos harness's conservation invariant accounts them).
+    packets_purged: int = 0
     reprocess_events_raised: int = 0
     introspection_events_raised: int = 0
     processing_time_total: float = 0.0
@@ -559,6 +562,32 @@ class Middlebox(Node, MiddleboxInterface):
             self.report_store.clear_install_round(canonical)
             for packet, in_port in self._held_packets.pop(canonical, []):
                 self._process_and_forward(packet, in_port)
+
+    def purge_transfer_state(self) -> int:
+        """Crash/teardown cleanup: drop every trace of transfer involvement.
+
+        Called by the controller when this instance is unregistered or
+        declared dead while operations touching it are still in flight.  The
+        releases and scoped TRANSFER_ENDs those operations owe this instance
+        can no longer be delivered, so the cleanup happens locally instead:
+        packet holds are lifted (their queued packets are *discarded* — the
+        instance is gone, and processing them now would fabricate updates),
+        pre-copy install-round tags are pruned from both stores, dirty
+        tracking stops, and transfer markers are cleared.  Returns the number
+        of queued packets discarded.
+        """
+        dropped = sum(len(queued) for queued in self._held_packets.values())
+        self._held_packets.clear()
+        self._held_flows.clear()
+        self._transferred_flows.clear()
+        self._shared_transfer_active = False
+        for store in (self.support_store, self.report_store):
+            store.end_dirty_tracking()
+            store.clear_install_rounds()
+        if dropped:
+            self.counters.packets_purged += dropped
+            self.counters.packets_dropped += dropped
+        return dropped
 
     def reprocess(self, packet: Packet, *, shared: bool = False) -> None:
         """Re-process a replayed packet, updating state but suppressing side effects.

@@ -1,0 +1,19 @@
+"""Testing harnesses: deterministic chaos injection for the control plane."""
+
+from .chaos import (
+    FAULT_PROFILES,
+    ChaosMiddlebox,
+    ChaosResult,
+    ChaosSpec,
+    InvariantViolation,
+    run_chaos,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "ChaosMiddlebox",
+    "ChaosResult",
+    "ChaosSpec",
+    "InvariantViolation",
+    "run_chaos",
+]

@@ -1,0 +1,524 @@
+"""Deterministic seeded chaos harness for the OpenMB control plane.
+
+The paper's guarantees — loss-free and order-preserving state transfers — are
+only meaningful if they hold when the control channel and the instances
+misbehave.  This module wraps a complete move-under-load scenario (controller,
+source/destination middleboxes, live traffic) with:
+
+* **fault injection** — per-channel seeded
+  :class:`~repro.core.channel.FaultPlan` (drops, duplicates, latency jitter,
+  reordering) with the reliable delivery layer enabled;
+* **scripted crashes** — kill the source or destination at a simulated time
+  or once a given pre-copy round has finished, discovered either by immediate
+  declaration or the controller's heartbeat liveness sweep; optionally retry
+  the move against a registered standby;
+* **invariant checking** — after the run, four global invariants are
+  evaluated and any violation is reported:
+
+  1. **termination** — every operation reaches a terminal state (completed or
+     cleanly failed, with its ``finalized`` future resolved) within the
+     simulated time limit;
+  2. **no lost updates** — under ``loss_free`` (and ``order_preserving``) the
+     surviving owner of the state holds *every* sequence number the traffic
+     driver delivered, exactly once (exactly-once also covers retransmitted
+     puts and replays: the reliable layer must dedup them);
+  3. **no reordering** — under ``order_preserving`` each flow's observed
+     sequence numbers are strictly increasing at the destination, even though
+     traffic is re-routed to it mid-transfer;
+  4. **state conservation** — no instance leaks packet holds, queued packets,
+     armed dirty tracking, or orphaned ``(op_id, round)`` install tags, and a
+     failed move leaves the source holding all of its state.
+
+Everything is driven by **one** ``random.Random(seed)``: channel fault seeds
+are derived from it, the traffic schedule is fixed, and the simulator is
+deterministic, so a scenario reproduces bit for bit from its
+:class:`ChaosSpec` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import ControllerConfig, MBController, NorthboundAPI
+from ..core.channel import ControlChannel, FaultPlan
+from ..core.events import EventCode
+from ..core.flowspace import FlowKey, FlowPattern
+from ..core.transfer import TransferGuarantee, TransferMode, TransferSpec
+from ..middleboxes.base import ProcessResult, Verdict
+from ..middleboxes.dummy import DummyMiddlebox
+from ..net.packet import tcp_packet
+from ..net.simulator import Simulator
+
+#: Named fault profiles for the chaos matrix.  ``lossy`` is the acceptance
+#: profile from the issue: 1 % control-message drop plus up-to-2x latency
+#: jitter; ``chaotic`` adds duplicates and reordering on top.
+FAULT_PROFILES: Dict[str, Optional[Dict[str, float]]] = {
+    "clean": None,
+    "lossy": {"drop": 0.01, "jitter": 2.0},
+    "jittery": {"jitter": 4.0, "reorder": 0.05},
+    "chaotic": {"drop": 0.02, "duplicate": 0.02, "jitter": 2.0, "reorder": 0.02},
+}
+
+SRC = "chaos-src"
+DST = "chaos-dst"
+STANDBY = "chaos-standby"
+
+
+@dataclass
+class ChaosSpec:
+    """One fully determined chaos scenario (a point of the chaos matrix)."""
+
+    seed: int = 0
+    #: Transfer guarantee: ``no_guarantee`` / ``loss_free`` / ``order_preserving``.
+    guarantee: str = "loss_free"
+    #: Copy discipline: ``snapshot`` or ``precopy``.
+    mode: str = "snapshot"
+    #: Controller shards (1 = the seed's single event loop).
+    shards: int = 1
+    #: Fault profile name from :data:`FAULT_PROFILES`.
+    profile: str = "clean"
+    #: Pipeline knobs threaded into the :class:`TransferSpec`.
+    batch_size: int = 1
+    parallelism: int = 0
+    #: Workload: per-flow state entries at the source and live packets driven
+    #: through the data plane while the move runs.
+    flows: int = 10
+    packets: int = 40
+    interval: float = 2e-4
+    #: When the move is issued (leaves room for pre-move traffic).
+    move_at: float = 1e-3
+    #: Scripted crash: which instance dies ("src" / "dst" / None), when
+    #: (a simulated time, or "after N pre-copy rounds finished"), and how the
+    #: controller finds out ("declare" = immediately, "liveness" = via the
+    #: heartbeat sweep).
+    kill: Optional[str] = None
+    kill_time: Optional[float] = None
+    kill_at_round: Optional[int] = None
+    detect: str = "declare"
+    #: Register a standby destination and retry the move onto it on dst death.
+    standby: bool = False
+    #: Re-route live traffic to the destination once state is installed.
+    #: Defaults to True for order-preserving scenarios (exercising the packet
+    #: holds), False otherwise (None = that default).
+    reroute: Optional[bool] = None
+    #: Silence window the traffic driver observes around a routing flip or an
+    #: instance death (sender back-off while the network reconverges).
+    switch_gap: float = 8e-3
+    quiescence: float = 0.02
+    #: Hard simulated-time budget; blowing it is a termination violation.
+    limit: float = 30.0
+
+    @property
+    def reroute_enabled(self) -> bool:
+        """Whether live traffic flips to the destination mid-transfer."""
+        if self.reroute is not None:
+            return self.reroute
+        return self.guarantee == "order_preserving"
+
+    def transfer_spec(self) -> TransferSpec:
+        """The :class:`TransferSpec` this scenario's move runs under."""
+        return TransferSpec(
+            guarantee=TransferGuarantee(self.guarantee),
+            mode=TransferMode(self.mode),
+            max_rounds=2,
+            dirty_threshold=2,
+            batch_size=self.batch_size,
+            parallelism=self.parallelism,
+        )
+
+
+@dataclass
+class InvariantViolation:
+    """One observed violation of a chaos invariant."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.invariant}] {self.detail}"
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run produced: outcome, violations, counters."""
+
+    spec: ChaosSpec
+    violations: List[InvariantViolation] = field(default_factory=list)
+    #: Operation outcome: "completed", "failed", or "stuck".
+    outcome: str = "stuck"
+    error: Optional[str] = None
+    #: Packets the traffic driver actually delivered (per canonical flow).
+    delivered: int = 0
+    #: Sequence numbers lost (only legitimate under no_guarantee).
+    lost_updates: int = 0
+    #: Channel-level fault/recovery counters summed across all channels.
+    messages: int = 0
+    drops: int = 0
+    retransmits: int = 0
+    dedup_discards: int = 0
+    duplicates: int = 0
+    #: The move retried onto the standby destination.
+    retried_on_standby: bool = False
+    #: Simulated time when the run settled.
+    settled_at: float = 0.0
+    #: Simulator callbacks executed (bit-for-bit reproducibility fingerprint).
+    executed_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError listing every violation (for pytest use)."""
+        if self.violations:
+            lines = "\n".join(f"  - {violation}" for violation in self.violations)
+            raise AssertionError(f"chaos invariants violated for {self.spec}:\n{lines}")
+
+
+class ChaosMiddlebox(DummyMiddlebox):
+    """A dummy middlebox whose per-flow state records observed packet seqs.
+
+    Every processed packet (live or replayed) appends its ``seq`` to the
+    flow's supporting state, so after a transfer the harness can check the
+    chaos invariants by inspecting state alone: lost updates are missing
+    seqs, double-applies are repeated seqs, reordering is a non-monotonic
+    seq list.  The seq journal travels inside the transferred chunk like any
+    other per-flow state.
+    """
+
+    def __init__(self, sim: Simulator, name: str, *, flows: int = 0, subnet: str = "10.7") -> None:
+        super().__init__(sim, name, chunk_count=0, subnet=subnet)
+        if flows:
+            self.populate(flows)
+
+    def populate(self, count: int) -> None:
+        """Create *count* per-flow supporting entries with empty seq journals."""
+        for index in range(count):
+            self.support_store.put(self.flow_key_for(index), {"index": index, "seqs": []})
+
+    def process_packet(self, packet) -> ProcessResult:
+        """Append the packet's seq to its flow's journal (live and replayed)."""
+        key = packet.flow_key()
+        record = self.support_store.get_or_create(key, lambda: {"index": -1, "seqs": []})
+        if packet.seq:
+            record.setdefault("seqs", []).append(packet.seq)
+        return ProcessResult(verdict=Verdict.FORWARD, updated_flows=[key])
+
+    def flow_seqs(self) -> Dict[FlowKey, List[int]]:
+        """Snapshot of every flow's observed sequence journal."""
+        return {key: list(record.get("seqs", [])) for key, record in self.support_store.items()}
+
+
+class _TrafficDriver:
+    """Deterministic per-scenario load generator with routing awareness.
+
+    Packets carry a globally increasing ``seq`` and round-robin over the
+    populated flows.  Each delivery is recorded per flow, so the invariant
+    checks know exactly which updates must survive.  The driver follows the
+    scenario's "routing": traffic goes to the source until the move's state
+    is installed (then, for reroute scenarios, to the destination after a
+    convergence gap), pauses around instance deaths, and skips deliveries to
+    dead instances entirely (those packets are blackholed by the network, not
+    lost by the transfer — they are excluded from the sent journal).
+    """
+
+    def __init__(self, sim: Simulator, spec: ChaosSpec, mbs: Dict[str, ChaosMiddlebox]) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.mbs = mbs
+        self.target = SRC
+        self.sent: Dict[FlowKey, List[int]] = {}
+        self.delivered = 0
+        self.blackholed = 0
+        self._index = 0
+        self._paused_until = 0.0
+        self._dead: set = set()
+
+    def start(self) -> None:
+        """Schedule the first packet."""
+        self.sim.schedule(self.spec.interval, self._tick)
+
+    def pause(self, until: float) -> None:
+        """Back off until *until* (routing reconvergence around a failure/flip)."""
+        self._paused_until = max(self._paused_until, until)
+
+    def mark_dead(self, name: str) -> None:
+        """Stop delivering to a crashed instance."""
+        self._dead.add(name)
+
+    def switch_to(self, name: str) -> None:
+        """Flip the traffic target (after the scenario's convergence gap)."""
+        self.target = name
+        self.pause(self.sim.now + self.spec.switch_gap)
+
+    def _tick(self) -> None:
+        if self._index >= self.spec.packets:
+            return
+        if self.sim.now < self._paused_until:
+            self.sim.schedule_at(self._paused_until, self._tick)
+            return
+        index = self._index
+        self._index += 1
+        flow = index % self.spec.flows
+        seq = index + 1
+        source_mb = self.mbs[SRC]
+        key = source_mb.flow_key_for(flow)
+        target = self.target
+        if target in self._dead:
+            self.blackholed += 1
+        else:
+            packet = tcp_packet(key.nw_src, key.nw_dst, key.tp_src, key.tp_dst, b"c", seq=seq)
+            canonical = key.bidirectional()
+            self.sent.setdefault(canonical, []).append(seq)
+            self.delivered += 1
+            self.mbs[target].receive(packet, 0)
+        self.sim.schedule(self.spec.interval, self._tick)
+
+    @property
+    def finished(self) -> bool:
+        """True once every packet was delivered (or blackholed)."""
+        return self._index >= self.spec.packets
+
+
+def run_chaos(spec: ChaosSpec) -> ChaosResult:
+    """Run one chaos scenario to quiescence and evaluate the four invariants."""
+    master = random.Random(spec.seed)
+    sim = Simulator()
+    liveness = spec.kill is not None and spec.detect == "liveness"
+    config = ControllerConfig(
+        quiescence_timeout=spec.quiescence,
+        num_shards=spec.shards,
+        heartbeat_interval=1e-3 if liveness else None,
+        liveness_timeout=4e-3,
+    )
+    controller = MBController(sim, config)
+    northbound = NorthboundAPI(controller)
+    profile = FAULT_PROFILES[spec.profile]
+    mbs: Dict[str, ChaosMiddlebox] = {}
+    channels: Dict[str, ControlChannel] = {}
+
+    def add(name: str, flows: int = 0) -> ChaosMiddlebox:
+        middlebox = ChaosMiddlebox(sim, name, flows=flows)
+        channel = None
+        if profile is not None:
+            # Every channel gets its own fault stream, but all seeds derive
+            # from the single master Random — the reproducibility contract.
+            plan = FaultPlan.symmetric(master.randrange(2**31), **profile)
+            channel = ControlChannel(sim, f"chan-{name}", faults=plan)
+        # Keep our own reference: killed/unregistered instances disappear
+        # from the controller, but their channels' fault counters must still
+        # be part of the result's accounting.
+        channels[name] = controller.register(middlebox, channel=channel)
+        mbs[name] = middlebox
+        return middlebox
+
+    add(SRC, flows=spec.flows)
+    add(DST)
+    if spec.standby:
+        add(STANDBY)
+
+    driver = _TrafficDriver(sim, spec, mbs)
+    driver.start()
+
+    result = ChaosResult(spec=spec)
+    state: Dict[str, object] = {"handle": None, "killed": None}
+
+    def on_introspection(event) -> None:
+        if event.code == EventCode.INSTANCE_DOWN:
+            driver.mark_dead(event.mb_name)
+            driver.pause(sim.now + spec.switch_gap)
+
+    northbound.subscribe_events(on_introspection)
+
+    def start_move() -> None:
+        handle = controller.move_internal(
+            SRC,
+            DST,
+            FlowPattern.wildcard(),
+            spec.transfer_spec(),
+            standby=STANDBY if spec.standby else None,
+        )
+        state["handle"] = handle
+        if spec.reroute_enabled:
+            def on_installed(future) -> None:
+                if future.exception is None and DST not in driver._dead:
+                    driver.switch_to(DST)
+
+            handle.state_installed.add_done_callback(on_installed)
+
+    sim.schedule(spec.move_at, start_move)
+
+    # -- scripted crash -----------------------------------------------------------
+    kill_target = {"src": SRC, "dst": DST}.get(spec.kill or "", None)
+
+    def do_kill() -> None:
+        if state["killed"] is not None:
+            return
+        state["killed"] = kill_target
+        driver.mark_dead(kill_target)
+        driver.pause(sim.now + spec.switch_gap)
+        controller.kill(kill_target, declare=not liveness)
+
+    if kill_target is not None:
+        if spec.kill_at_round is not None:
+            def round_probe() -> None:
+                handle = state["handle"]
+                if state["killed"] is not None:
+                    return
+                if handle is not None and handle.completed.done:
+                    return  # the move finished before the scripted round
+                if handle is not None and len(handle.record.rounds) >= spec.kill_at_round:
+                    do_kill()
+                    return
+                sim.schedule(2e-4, round_probe)
+
+            sim.schedule(spec.move_at, round_probe)
+        else:
+            sim.schedule(spec.kill_time if spec.kill_time is not None else 2e-3, do_kill)
+
+    # -- drive to quiescence --------------------------------------------------------
+    def settled() -> bool:
+        handle = state["handle"]
+        return (
+            handle is not None
+            and handle.completed.done
+            and handle.finalized.done
+            and driver.finished
+        )
+
+    while sim.now < spec.limit and not settled() and (sim.pending_events or sim.now == 0.0):
+        sim.run(until=min(spec.limit, sim.now + 0.01))
+    # Let retransmission timers, releases, and late replays drain fully.
+    sim.run(until=sim.now + 3 * spec.quiescence + 0.05)
+
+    result.settled_at = sim.now
+    result.executed_events = sim.executed_events
+    result.delivered = driver.delivered
+    handle = state["handle"]
+
+    # -- invariant 1: termination ----------------------------------------------------
+    if handle is None or not handle.completed.done:
+        result.violations.append(
+            InvariantViolation("termination", f"operation did not reach a terminal state by t={sim.now:.3f}")
+        )
+        return result
+    if handle.completed.exception is None:
+        result.outcome = "completed"
+    else:
+        result.outcome = "failed"
+        result.error = str(handle.completed.exception)
+    if not handle.finalized.done:
+        result.violations.append(
+            InvariantViolation("termination", "completed but never finalized (quiescence step stuck)")
+        )
+    retried = bool(getattr(handle, "retried", False))
+    result.retried_on_standby = retried
+
+    # -- channel accounting ----------------------------------------------------------
+    for channel in channels.values():
+        result.messages += channel.total_messages
+        result.drops += channel.total_dropped
+        result.retransmits += channel.total_retransmits
+        result.dedup_discards += channel.to_mb.dedup_discards + channel.to_controller.dedup_discards
+        result.duplicates += channel.to_mb.duplicated + channel.to_controller.duplicated
+
+    # -- invariant 4a: no leaked holds / tags / tracking ------------------------------
+    killed = state["killed"]
+    for name, middlebox in mbs.items():
+        if middlebox._held_flows or middlebox._held_packets:
+            result.violations.append(
+                InvariantViolation(
+                    "conservation",
+                    f"{name} leaked packet holds: flows={len(middlebox._held_flows)} "
+                    f"queued={sum(len(q) for q in middlebox._held_packets.values())}",
+                )
+            )
+        for role, store in (("support", middlebox.support_store), ("report", middlebox.report_store)):
+            if store.tracking_dirty:
+                result.violations.append(
+                    InvariantViolation("conservation", f"{name}.{role} store left with dirty tracking armed")
+                )
+        if name == killed or (result.outcome == "failed" and name == DST):
+            tags = middlebox.support_store.install_round_count + middlebox.report_store.install_round_count
+            if tags:
+                result.violations.append(
+                    InvariantViolation("conservation", f"{name} holds {tags} orphaned (op_id, round) install tags")
+                )
+
+    # -- invariants 2 + 3: update fate ------------------------------------------------
+    sent = driver.sent
+    if result.outcome == "completed":
+        owner_name = STANDBY if retried else DST
+        _check_owner_state(result, spec, sent, mbs[owner_name].flow_seqs(), owner_name)
+        if spec.guarantee in ("loss_free", "order_preserving") and handle.finalized.exception is None:
+            # The move finalised: the source must have handed everything off.
+            leftovers = sum(len(seqs) for seqs in mbs[SRC].flow_seqs().values())
+            if leftovers:
+                result.violations.append(
+                    InvariantViolation("conservation", f"source retained {leftovers} seqs after finalize")
+                )
+    else:
+        # A failed (crash-aborted) move must leave the source authoritative:
+        # every update delivered to a then-alive source survives there.
+        if killed != SRC:
+            _check_source_retention(result, sent, mbs[SRC].flow_seqs())
+    return result
+
+
+def _check_owner_state(
+    result: ChaosResult,
+    spec: ChaosSpec,
+    sent: Dict[FlowKey, List[int]],
+    observed: Dict[FlowKey, List[int]],
+    owner_name: str,
+) -> None:
+    """Compare the surviving owner's seq journals against what was delivered."""
+    lost_total = 0
+    for key, expected in sorted(sent.items()):
+        seqs = observed.get(key, [])
+        unique = set(seqs)
+        if len(unique) != len(seqs):
+            doubled = sorted({seq for seq in seqs if seqs.count(seq) > 1})
+            result.violations.append(
+                InvariantViolation("lost-updates", f"{owner_name} double-applied seqs {doubled} for {key}")
+            )
+        fabricated = unique - set(expected)
+        if fabricated:
+            result.violations.append(
+                InvariantViolation("conservation", f"{owner_name} fabricated seqs {sorted(fabricated)} for {key}")
+            )
+        missing = set(expected) - unique
+        lost_total += len(missing)
+        if missing and spec.guarantee in ("loss_free", "order_preserving"):
+            result.violations.append(
+                InvariantViolation(
+                    "lost-updates",
+                    f"{owner_name} lost {len(missing)} update(s) for {key}: {sorted(missing)[:6]}",
+                )
+            )
+        if spec.guarantee == "order_preserving":
+            if any(later <= earlier for earlier, later in zip(seqs, seqs[1:])):
+                result.violations.append(
+                    InvariantViolation("reordering", f"{owner_name} applied {key} out of order: {seqs}")
+                )
+    result.lost_updates = lost_total
+
+
+def _check_source_retention(
+    result: ChaosResult, sent: Dict[FlowKey, List[int]], observed: Dict[FlowKey, List[int]]
+) -> None:
+    """After a crash-aborted move the (alive) source must retain every update."""
+    for key, expected in sorted(sent.items()):
+        seqs = observed.get(key, [])
+        missing = set(expected) - set(seqs)
+        if missing:
+            result.violations.append(
+                InvariantViolation(
+                    "conservation",
+                    f"aborted move lost {len(missing)} update(s) at the source for {key}",
+                )
+            )
+        result.lost_updates += len(missing)

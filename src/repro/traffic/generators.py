@@ -19,7 +19,10 @@ synthetic equivalents that preserve the properties the evaluation relies on:
 * :func:`constant_rate_trace` — packets at a fixed aggregate rate across a set
   of flows (used for the event-generation experiments of Figure 9c/d).
 
-All generators are deterministic given their ``seed``.
+All generators are deterministic given their ``seed``.  Alternatively a
+pre-seeded ``numpy`` generator can be threaded through several calls via the
+``rng`` parameter — the idiom the chaos harness uses to derive *every* random
+decision of a scenario from one master seed.
 """
 
 from __future__ import annotations
@@ -157,14 +160,16 @@ def enterprise_cloud_trace(
     mean_requests: float = 2.0,
     seed: int = 1,
     leave_open_fraction: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Synthetic equivalent of the paper's campus-to-cloud trace.
 
     ``leave_open_fraction`` flows are generated without a close, so a fraction
     of connections remain in progress at the end of the trace (useful for
-    migration experiments where live flows must keep working).
+    migration experiments where live flows must keep working).  ``rng``
+    overrides ``seed`` with an externally threaded generator.
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     size_model = FlowSizeModel()
     records: List[TraceRecord] = []
     specs: List[FlowSpec] = []
@@ -215,11 +220,15 @@ def enterprise_cloud_trace(
 
 
 def datacenter_flow_durations(
-    count: int = 5000, *, seed: int = 3, model: Optional[FlowDurationModel] = None
+    count: int = 5000,
+    *,
+    seed: int = 3,
+    model: Optional[FlowDurationModel] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Flow durations for the data-center workload (Figure 8)."""
     model = model or FlowDurationModel()
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     return model.sample(count, rng)
 
 
@@ -231,6 +240,7 @@ def datacenter_trace(
     server_subnet: str = "10.2.2",
     model: Optional[FlowDurationModel] = None,
     packets_per_flow: int = 6,
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """A packet trace whose flow durations follow the data-center model.
 
@@ -238,8 +248,8 @@ def datacenter_trace(
     duration, and a close, so "when does the last flow finish" questions (the
     held-up-middlebox experiment) can be asked of the trace directly.
     """
-    durations = datacenter_flow_durations(flows, seed=seed, model=model)
-    rng = np.random.default_rng(seed + 1)
+    durations = datacenter_flow_durations(flows, seed=seed, model=model, rng=rng)
+    rng = rng if rng is not None else np.random.default_rng(seed + 1)
     records: List[TraceRecord] = []
     for index, flow_duration in enumerate(durations):
         client = f"{client_subnet}.{index % 250 + 1}"
@@ -274,6 +284,7 @@ def redundancy_trace(
     flows: int = 10,
     interval: float = 0.002,
     seed: int = 5,
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Packets whose payloads repeat earlier content with probability *redundancy*.
 
@@ -282,7 +293,7 @@ def redundancy_trace(
     fresh random content, giving the RE encoder approximately that fraction of
     encodable bytes once the cache has warmed up.
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     block = 64
     pool = [rng.integers(0, 256, size=block, dtype=np.uint8).tobytes() for _ in range(unique_blocks)]
     records: List[TraceRecord] = []
@@ -350,6 +361,7 @@ def constant_rate_trace(
     server: str = "192.0.2.20",
     payload_bytes: int = 200,
     seed: int = 9,
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Packets at a fixed aggregate rate, spread round-robin over *flows* flows.
 
@@ -357,7 +369,7 @@ def constant_rate_trace(
     during a move is driven by how many packets arrive for the moved flows while
     the transfer window is open, i.e. by the packet rate.
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     total = int(rate * duration)
     interval = 1.0 / rate if rate > 0 else duration
     records: List[TraceRecord] = []

@@ -1,0 +1,247 @@
+"""The chaos matrix: transfer guarantees under control-plane misbehaviour.
+
+Every scenario wraps a complete move-under-load in the deterministic seeded
+chaos harness (:mod:`repro.testing.chaos`) and checks four invariants:
+
+1. every operation terminates (completed or cleanly failed + finalized);
+2. no lost updates under ``loss_free`` (exactly-once, even with
+   retransmissions);
+3. no reordering under ``order_preserving`` (traffic re-routed mid-move);
+4. state conservation — no leaked holds, queued packets, dirty tracking, or
+   orphaned ``(op_id, round)`` install tags, and aborted moves leave the
+   source authoritative.
+
+The default matrix runs guarantee (3) x mode (2) x shards (1/4) x fault
+profile (4) x ``CHAOS_SEEDS`` seeds (default 5) = 240 seeded scenarios; the
+CI chaos job raises the seed count for a deeper fixed-seed sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ControllerConfig, MBController, NorthboundAPI
+from repro.middleboxes import NAT
+from repro.net import Simulator, tcp_packet
+from repro.testing import ChaosSpec, run_chaos
+
+GUARANTEES = ("no_guarantee", "loss_free", "order_preserving")
+MODES = ("snapshot", "precopy")
+SHARD_COUNTS = (1, 4)
+PROFILES = ("clean", "lossy", "jittery", "chaotic")
+
+#: Seeds per matrix cell: 3 x 2 x 2 x 4 x SEEDS scenarios in total.  The
+#: default (5 -> 240 scenarios) keeps tier-1 fast; the CI chaos job raises it.
+SEEDS = int(os.environ.get("CHAOS_SEEDS", "5"))
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("guarantee", GUARANTEES)
+    def test_invariants_hold_across_seeds(self, guarantee, mode, shards, profile):
+        for index in range(SEEDS):
+            spec = ChaosSpec(
+                seed=index * 977 + 13,
+                guarantee=guarantee,
+                mode=mode,
+                shards=shards,
+                profile=profile,
+            )
+            result = run_chaos(spec)
+            result.assert_ok()
+            assert result.outcome == "completed"
+            if guarantee in ("loss_free", "order_preserving"):
+                assert result.lost_updates == 0
+
+    def test_matrix_size_meets_the_issue_floor(self):
+        """The default matrix runs at least 200 seeded scenarios."""
+        assert len(GUARANTEES) * len(MODES) * len(SHARD_COUNTS) * len(PROFILES) * SEEDS >= 200
+
+
+class TestAcceptanceScenarios:
+    """The specific end-to-end claims of the issue's acceptance criteria."""
+
+    def test_lossy_precopy_move_zero_lost_updates_bounded_retransmissions(self):
+        """1 % drop + 2x latency jitter: loss-free pre-copy still loses nothing.
+
+        The ``lossy`` profile is exactly the acceptance fault plan.  The move
+        must complete, deliver every update exactly once, actually exercise
+        the recovery machinery (messages were dropped), and keep
+        retransmissions bounded — well under one retransmission per five wire
+        messages.
+        """
+        retransmits = drops = messages = 0
+        for seed in range(8):
+            spec = ChaosSpec(seed=seed * 101 + 3, guarantee="loss_free", mode="precopy", profile="lossy")
+            result = run_chaos(spec)
+            result.assert_ok()
+            assert result.outcome == "completed"
+            assert result.lost_updates == 0
+            retransmits += result.retransmits
+            drops += result.drops
+            messages += result.messages
+        assert drops > 0, "the fault plan never fired; the scenario is too small"
+        # Fewer retransmissions than drops is expected: cumulative CHAN_ACKs
+        # recover dropped acks for free and head-of-line retransmission jumps
+        # the ack over buffered tails — but the machinery must have fired.
+        assert retransmits > 0, "dropped payloads were never retransmitted"
+        assert retransmits < messages / 5, f"unbounded retransmissions: {retransmits}/{messages}"
+
+    @pytest.mark.parametrize("guarantee", ("loss_free", "order_preserving"))
+    def test_killing_destination_mid_round_aborts_cleanly(self, guarantee):
+        """A dst death mid-precopy fails the move with no leaked holds or tags."""
+        for seed in range(5):
+            spec = ChaosSpec(
+                seed=seed * 53 + 1,
+                guarantee=guarantee,
+                mode="precopy",
+                profile="lossy",
+                kill="dst",
+                kill_at_round=1,
+            )
+            result = run_chaos(spec)
+            result.assert_ok()  # conservation covers holds, tags, dirty tracking
+            assert result.outcome == "failed"
+            assert "died" in (result.error or "")
+
+    def test_killing_source_mid_move_fails_cleanly(self):
+        spec = ChaosSpec(
+            seed=77, guarantee="loss_free", mode="snapshot", profile="lossy", kill="src", kill_time=2e-3
+        )
+        result = run_chaos(spec)
+        result.assert_ok()
+        assert result.outcome == "failed"
+
+    def test_liveness_sweep_detects_silent_crash(self):
+        """With heartbeats on, an undeclared kill is found by the sweep."""
+        spec = ChaosSpec(
+            seed=11,
+            guarantee="loss_free",
+            mode="snapshot",
+            profile="clean",
+            kill="dst",
+            kill_time=2e-3,
+            detect="liveness",
+        )
+        result = run_chaos(spec)
+        result.assert_ok()
+        assert result.outcome == "failed"
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_destination_death_retries_onto_standby_loss_free(self, mode):
+        """With a standby registered, a dst death re-drives the move loss-free."""
+        for seed in range(5):
+            spec = ChaosSpec(
+                seed=seed * 41 + 9,
+                guarantee="loss_free",
+                mode=mode,
+                profile="lossy",
+                kill="dst",
+                kill_time=2e-3 if mode == "snapshot" else None,
+                kill_at_round=1 if mode == "precopy" else None,
+                standby=True,
+            )
+            result = run_chaos(spec)
+            result.assert_ok()
+            assert result.outcome == "completed"
+            assert result.retried_on_standby
+            assert result.lost_updates == 0
+
+    def test_same_seed_reproduces_bit_for_bit(self):
+        """One seed fully determines the run: schedule, faults, and outcome."""
+        spec = ChaosSpec(seed=4242, guarantee="order_preserving", mode="precopy", profile="chaotic")
+        first = run_chaos(spec)
+        second = run_chaos(spec)
+        assert first.executed_events == second.executed_events
+        assert first.settled_at == second.settled_at
+        assert (first.outcome, first.delivered, first.retransmits, first.drops, first.dedup_discards) == (
+            second.outcome,
+            second.delivered,
+            second.retransmits,
+            second.drops,
+            second.dedup_discards,
+        )
+
+
+class TestFailoverAppUnderChaos:
+    """The rewritten failover app: pre-cloned standby + loss-free replay."""
+
+    def _build(self):
+        sim = Simulator()
+        controller = MBController(
+            sim,
+            ControllerConfig(quiescence_timeout=0.2, heartbeat_interval=1e-3, liveness_timeout=4e-3),
+        )
+        northbound = NorthboundAPI(controller)
+        primary = NAT(sim, "nat-primary")
+        standby = NAT(sim, "nat-standby")
+        controller.register(primary)
+        controller.register(standby)
+        return sim, controller, northbound, primary, standby
+
+    def test_failover_recovers_onto_standby_with_loss_free_replay(self):
+        from repro.apps import FailureRecoveryApp
+
+        sim, controller, northbound, primary, standby = self._build()
+        app = FailureRecoveryApp(sim, northbound, protected_mb="nat-primary", standby_mb="nat-standby")
+        sim.run_until(app.arm())
+        routing_calls = []
+
+        def update_routing():
+            routing_calls.append(sim.now)
+            return sim.timeout(1e-4)
+
+        app.enable_auto_failover(update_routing)
+        # Phase 1: connections establish mappings; the background sync flushes
+        # them to the standby as they appear.
+        for index in range(6):
+            sim.schedule(1e-4 * index, primary.receive, tcp_packet(f"10.0.0.{index + 1}", "8.8.8.8", 6000 + index, 443), 1)
+        sim.run(until=0.02)
+        assert app.events_seen == 6
+        assert app.sync_writes > 0
+        presynced_before_kill = len(app._synced)
+        assert presynced_before_kill == 6
+        # Phase 2: a late burst of mappings, then the primary dies before the
+        # background sync window can flush them — the loss-free replay must
+        # deliver exactly that delta during recovery.
+        for index in range(6, 9):
+            primary.receive(tcp_packet(f"10.0.0.{index + 1}", "8.8.8.8", 6000 + index, 443), 1)
+        sim.run(until=sim.now + 4e-4)  # events reach the app; sync window still open
+        controller.kill("nat-primary")  # declared dead before the sync flushes
+        sim.run(until=sim.now + 0.2)
+        assert app.auto_recovery is not None and app.auto_recovery.done
+        report = app.auto_recovery.result
+        assert routing_calls, "recovery never flipped routing"
+        assert report.details["mappings_replayed"] >= 3
+        assert report.details["mappings_presynced"] >= presynced_before_kill
+        assert report.details["mappings_replayed"] + report.details["mappings_presynced"] == 9
+        # Loss-free: every shadowed mapping is usable at the standby, keeping
+        # its original external port.
+        originals = {
+            (mapping.internal_ip, mapping.internal_port): mapping.external_port
+            for _, mapping in primary.support_store.items()
+        }
+        assert len(originals) == 9
+        for index in range(9):
+            result = standby.process_packet(tcp_packet(f"10.0.0.{index + 1}", "8.8.8.8", 6000 + index, 443))
+            assert result.packet.tp_src == originals[(f"10.0.0.{index + 1}", 6000 + index)]
+
+    def test_fully_synced_standby_failover_is_pure_reroute(self):
+        from repro.apps import FailureRecoveryApp
+
+        sim, controller, northbound, primary, standby = self._build()
+        app = FailureRecoveryApp(sim, northbound, protected_mb="nat-primary", standby_mb="nat-standby")
+        sim.run_until(app.arm())
+        app.enable_auto_failover(lambda: sim.timeout(1e-4))
+        for index in range(5):
+            sim.schedule(1e-4 * index, primary.receive, tcp_packet(f"10.0.1.{index + 1}", "8.8.8.8", 7000 + index, 443), 1)
+        sim.run(until=0.05)  # everything synced in the background
+        controller.kill("nat-primary")
+        sim.run(until=sim.now + 0.2)
+        report = app.auto_recovery.result
+        assert report.details["mappings_replayed"] == 0
+        assert report.details["mappings_presynced"] == 5

@@ -1,0 +1,97 @@
+"""Deterministic seeding: reproducibility rests on no ambient randomness.
+
+The chaos harness promises bit-for-bit reproduction from a single seed.  That
+only holds if every random draw in ``src/`` flows from an explicitly seeded
+generator — one ``random.Random(seed)`` threaded through the chaos runner and
+fault plans, and seeded ``numpy`` generators in the traffic module.  These
+tests grep the source tree for module-level randomness (the global
+``random.*`` functions and the global ``np.random.*`` mutable state) and
+verify end-to-end reproducibility of representative workloads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: Module-level random calls: `random.<fn>(` not preceded by `.` (which would
+#: be an instance's own `rng.random(...)`) and not `random.Random(` itself.
+GLOBAL_RANDOM = re.compile(r"(?<![.\w])random\.(?!Random\b)\w+\s*\(")
+
+#: Global numpy randomness: anything under np.random except default_rng /
+#: Generator (seeded object construction).
+GLOBAL_NP_RANDOM = re.compile(r"np\.random\.(?!default_rng\b|Generator\b)\w+\s*\(")
+
+
+def _source_lines():
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.split("#", 1)[0]
+            if stripped.strip():
+                yield path.relative_to(SRC_ROOT), number, stripped
+
+
+class TestNoAmbientRandomness:
+    def test_no_module_level_random_calls_in_src(self):
+        offenders = [
+            f"{path}:{number}: {line.strip()}"
+            for path, number, line in _source_lines()
+            if GLOBAL_RANDOM.search(line)
+        ]
+        assert not offenders, (
+            "module-level random.* usage breaks seeded chaos reproducibility; "
+            "thread a random.Random(seed) instead:\n" + "\n".join(offenders)
+        )
+
+    def test_no_global_numpy_randomness_in_src(self):
+        offenders = [
+            f"{path}:{number}: {line.strip()}"
+            for path, number, line in _source_lines()
+            if GLOBAL_NP_RANDOM.search(line)
+        ]
+        assert not offenders, (
+            "global np.random state breaks seeded reproducibility; "
+            "use np.random.default_rng(seed):\n" + "\n".join(offenders)
+        )
+
+
+class TestSeededReproducibility:
+    def test_traffic_generators_reproduce_from_seed(self):
+        from repro.traffic.generators import constant_rate_trace, enterprise_cloud_trace
+
+        first = enterprise_cloud_trace(http_flows=10, other_flows=4, seed=5)
+        second = enterprise_cloud_trace(http_flows=10, other_flows=4, seed=5)
+        assert [record.payload for record in first.records] == [
+            record.payload for record in second.records
+        ]
+        assert constant_rate_trace(rate=500, duration=0.1, seed=7).records[3].payload == (
+            constant_rate_trace(rate=500, duration=0.1, seed=7).records[3].payload
+        )
+
+    def test_traffic_generators_accept_a_shared_rng(self):
+        """One master generator can be threaded through several traces."""
+        from repro.traffic.generators import constant_rate_trace, redundancy_trace
+
+        master = np.random.default_rng(123)
+        first = constant_rate_trace(rate=500, duration=0.05, rng=master)
+        second = redundancy_trace(packets=20, rng=master)
+        replay_master = np.random.default_rng(123)
+        first_again = constant_rate_trace(rate=500, duration=0.05, rng=replay_master)
+        second_again = redundancy_trace(packets=20, rng=replay_master)
+        assert [r.payload for r in first.records] == [r.payload for r in first_again.records]
+        assert [r.payload for r in second.records] == [r.payload for r in second_again.records]
+
+    def test_chaos_runs_reproduce_from_seed(self):
+        from repro.testing import ChaosSpec, run_chaos
+
+        spec = ChaosSpec(seed=31337, guarantee="loss_free", mode="precopy", profile="chaotic", shards=4)
+        first = run_chaos(spec)
+        second = run_chaos(spec)
+        assert first.executed_events == second.executed_events
+        assert first.settled_at == second.settled_at
+        assert first.retransmits == second.retransmits
+        assert first.drops == second.drops

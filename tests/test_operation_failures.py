@@ -175,6 +175,78 @@ class TestUnregisterCleanup:
         assert "Monitor.PromiscuousMode" in values
 
 
+class TestStrandedStateCleanup:
+    """A destination vanishing mid-transfer must not strand holds or round tags."""
+
+    def _precopy_pair(self, sim, controller):
+        src = DummyMiddlebox(sim, "psrc", chunk_count=150)
+        dst = DummyMiddlebox(sim, "pdst")
+        controller.register(src)
+        controller.register(dst)
+        return src, dst
+
+    def test_dst_unregister_mid_precopy_prunes_round_tags(self, sim, controller, northbound):
+        from repro.core.errors import UnknownMiddleboxError
+
+        src, dst = self._precopy_pair(sim, controller)
+        spec = TransferSpec.precopy(max_rounds=3, dirty_threshold=0)
+        src.drive_traffic_at_rate(5000, duration=0.05, flows=40)
+        handle = northbound.move_internal("psrc", "pdst", None, spec=spec)
+        # Let the bulk round install some round-tagged chunks, then kill the dst.
+        sim.schedule(0.004, controller.unregister, "pdst")
+        with pytest.raises(UnknownMiddleboxError):
+            sim.run_until(handle.completed, limit=30)
+        sim.run(until=sim.now + 1.0)
+        # No orphaned (op_id, round) tags survive at the vanished destination...
+        assert dst.support_store.install_round_count == 0
+        assert dst.report_store.install_round_count == 0
+        # ...and the source's dirty tracking was stopped by the scoped cleanup.
+        assert not src.support_store.tracking_dirty
+        assert not src.report_store.tracking_dirty
+
+    def test_dst_unregister_mid_order_preserving_move_drops_holds(self, sim, controller, northbound):
+        from repro.core import TransferGuarantee
+        from repro.core.errors import UnknownMiddleboxError
+
+        src, dst = self._precopy_pair(sim, controller)
+        spec = TransferSpec(guarantee=TransferGuarantee.ORDER_PRESERVING)
+        handle = northbound.move_internal("psrc", "pdst", None, spec=spec)
+        sim.schedule(0.003, controller.unregister, "pdst")
+        with pytest.raises(UnknownMiddleboxError):
+            sim.run_until(handle.completed, limit=30)
+        sim.run(until=sim.now + 1.0)
+        # The failure-path release can no longer be delivered; the local purge
+        # must have lifted every hold and dropped the queued packets.
+        assert not dst._held_flows
+        assert not dst._held_packets
+
+    def test_failed_move_releases_source_transfer_markers(self, sim, failing_move):
+        controller, northbound, src, _ = failing_move
+        handle = northbound.move_internal("fsrc", "fdst", None)
+        with pytest.raises(OperationError):
+            sim.run_until(handle.completed, limit=100)
+        sim.run(until=sim.now + 1.0)
+        # A dead transfer must not keep the source's flows frozen: frozen
+        # flows would stream re-process events to a destination that will
+        # never install their state (and poison a standby retry's snapshot).
+        assert src.transferred_flow_count() == 0
+
+    def test_killed_instance_is_purged_and_operations_fail_dead(self, sim, controller, northbound):
+        from repro.core.errors import InstanceDeadError
+
+        src, dst = self._precopy_pair(sim, controller)
+        handle = northbound.move_internal(
+            "psrc", "pdst", None, spec=TransferSpec.precopy(max_rounds=2, dirty_threshold=0)
+        )
+        sim.schedule(0.004, controller.kill, "pdst")
+        with pytest.raises(InstanceDeadError):
+            sim.run_until(handle.completed, limit=30)
+        assert controller.stats.instances_killed == 1
+        assert controller.stats.instances_declared_dead == 1
+        assert dst.support_store.install_round_count == 0
+        assert not controller.is_registered("pdst")
+
+
 class TestForwardedEventPruning:
     def test_tokens_pruned_when_operation_finishes(self, sim, controller, northbound, monitor_pair):
         mon1, _ = monitor_pair
