@@ -30,8 +30,10 @@ from repro.net import Simulator
 
 try:
     from benchmarks.conftest import controller_with_dummies
+    from benchmarks._results import duration_stats, freeze_stats, write_results
 except ModuleNotFoundError:  # invoked as a script: benchmarks/ is sys.path[0]
     from conftest import controller_with_dummies
+    from _results import duration_stats, freeze_stats, write_results
 
 CONCURRENCY_LEVELS = (1, 2, 4, 8)
 CHUNKS_PER_PAIR = (500, 1000)
@@ -103,6 +105,8 @@ def run_sharded_moves(
         "makespan": makespan,
         "throughput": moves / makespan,
         "mean_duration": sum(record.duration for record in records) / moves,
+        "durations": [record.duration for record in records],
+        "freeze_windows": [record.freeze_window for record in records],
         "chunks": sum(record.chunks_transferred for record in records),
         "puts_acked": sum(record.puts_acked for record in records),
         "events_generated": generated,
@@ -202,6 +206,22 @@ def test_shard_scaling_64_concurrent_moves(once):
         )
     )
 
+    write_results(
+        "fig10b_concurrent_moves",
+        {
+            "workload": {"moves": SCALING_MOVES, "chunks": SCALING_CHUNKS, "guarantee": "loss_free"},
+            "shards": {
+                str(result["num_shards"]): {
+                    "makespan_ms": round(result["makespan"] * 1000, 4),
+                    "throughput_moves_per_sec": round(result["throughput"], 3),
+                    "move": duration_stats(result["durations"]),
+                    "freeze": freeze_stats(result["freeze_windows"]),
+                }
+                for result in results
+            },
+        },
+    )
+
     # >= 2x operation throughput at 4 shards vs 1 shard, 64 concurrent moves.
     assert by_shards[4]["throughput"] >= 2.0 * by_shards[1]["throughput"]
     # Monotone: adding shards never slows the workload down.
@@ -246,6 +266,20 @@ def main() -> None:
     args = parser.parse_args()
     result = run_sharded_moves(args.shards, moves=args.moves, chunks=args.chunks, guarantee=args.guarantee)
     assert_no_lost_or_reordered_updates(result)
+    write_results(
+        "fig10b_concurrent_moves",
+        {
+            "workload": {"moves": args.moves, "chunks": args.chunks, "guarantee": args.guarantee},
+            "shards": {
+                str(args.shards): {
+                    "makespan_ms": round(result["makespan"] * 1000, 4),
+                    "throughput_moves_per_sec": round(result["throughput"], 3),
+                    "move": duration_stats(result["durations"]),
+                    "freeze": freeze_stats(result["freeze_windows"]),
+                }
+            },
+        },
+    )
     print_block(
         format_table(
             f"{args.moves} concurrent moves, {args.chunks * 2} chunks each, {args.guarantee}, {args.shards} shard(s)",

@@ -2,6 +2,7 @@
 
 from .base import AppReport, ControlApplication
 from .failover import FailureRecoveryApp
+from .federation import FederationOverseerApp
 from .migration import PerFlowMigrationApp, REMigrationApp
 from .scaling import RebalanceApp, ScaleDownApp, ScaleUpApp
 from .scenarios import (
@@ -18,6 +19,7 @@ __all__ = [
     "AppReport",
     "ControlApplication",
     "FailureRecoveryApp",
+    "FederationOverseerApp",
     "PerFlowMigrationApp",
     "REMigrationApp",
     "RebalanceApp",

@@ -75,6 +75,20 @@ class MessageType:
     #: is the highest channel sequence number (``cseq``) delivered in order.
     CHAN_ACK = "chan_ack"
 
+    # controller <-> controller federation (inter-domain channels only; these
+    # never appear on a middlebox control channel, so the single-domain wire
+    # stays byte-identical to the seed protocol)
+    #: Anti-entropy gossip digest: membership, instance liveness, and the
+    #: versioned flow-ownership directory of the sending domain.
+    FED_GOSSIP = "fed_gossip"
+    #: Ask a peer domain to lend an instance as a cross-domain move destination.
+    FED_MOVE_REQUEST = "fed_move_request"
+    #: Grant (or refuse) a pending FED_MOVE_REQUEST.
+    FED_MOVE_GRANT = "fed_move_grant"
+    #: The borrowing domain finished (or aborted) the move; the instance
+    #: returns to its home domain.
+    FED_MOVE_DONE = "fed_move_done"
+
 
 #: Request types whose ACK the controller waits for.
 ACKED_REQUESTS = frozenset(
@@ -563,3 +577,54 @@ def reprocess_message(
     if seq is not None:
         body["seq"] = seq
     return Message(MessageType.REPROCESS_PACKET, mb=mb, body=body)
+
+
+# -- controller <-> controller federation ---------------------------------------------
+
+
+def fed_gossip(
+    peer: str,
+    domain: str,
+    sent_at: float,
+    *,
+    membership: Sequence[Dict[str, Any]],
+    liveness: Sequence[Dict[str, Any]],
+    ownership: Sequence[Dict[str, Any]],
+) -> Message:
+    """Build one anti-entropy gossip digest for an inter-domain channel.
+
+    ``sent_at`` is the sender's (shared simulated) clock at transmission time;
+    the receiver turns it into a one-way delay sample that feeds the smoothed
+    WAN latency/jitter estimate used for cross-domain precopy pacing.  The
+    three digest sections are the wire form of the sender's versioned maps
+    (:class:`repro.federation.gossip.VersionedMap`).
+    """
+    return Message(
+        MessageType.FED_GOSSIP,
+        mb=peer,
+        body={
+            "domain": domain,
+            "sent_at": sent_at,
+            "membership": list(membership),
+            "liveness": list(liveness),
+            "ownership": list(ownership),
+        },
+    )
+
+
+def fed_move_request(peer: str, domain: str, instance: str) -> Message:
+    """Ask *peer* to lend *instance* as the destination of a cross-domain move."""
+    return Message(MessageType.FED_MOVE_REQUEST, mb=peer, body={"domain": domain, "instance": instance})
+
+
+def fed_move_grant(request: Message, peer: str, domain: str, *, granted: bool, reason: str = "") -> Message:
+    """Answer a FED_MOVE_REQUEST; ``reason`` is omitted from the wire when empty."""
+    body: Dict[str, Any] = {"domain": domain, "instance": request.body.get("instance", ""), "granted": granted}
+    if reason:
+        body["reason"] = reason
+    return Message(MessageType.FED_MOVE_GRANT, reply_to=request.xid, mb=peer, body=body)
+
+
+def fed_move_done(peer: str, domain: str, instance: str, *, ok: bool) -> Message:
+    """Return a lent instance to its home domain after the move finished/aborted."""
+    return Message(MessageType.FED_MOVE_DONE, mb=peer, body={"domain": domain, "instance": instance, "ok": ok})

@@ -106,6 +106,9 @@ class OperationRecord:
     #: Pre-copy: copy rounds performed before the stop-and-copy freeze
     #: (the bulk round counts as one; snapshot operations report 0).
     precopy_rounds: int = 0
+    #: WAN-adaptive inter-round pacing gain the operation ran with
+    #: (see :attr:`~repro.core.transfer.TransferSpec.wan_pacing`).
+    wan_pacing: float = 0.0
     #: Per-round measurements: one dict per copy round with ``round``,
     #: ``chunks``, ``bytes``, ``dirty_after`` (flows re-dirtied while the round
     #: streamed), ``duration``, and ``final`` (the stop-and-copy round).
@@ -359,6 +362,7 @@ class _StatefulOperation:
             early_release=self.spec.early_release,
             # PRECOPY with max_rounds=0 degrades to snapshot; record what ran.
             mode=(TransferMode.PRECOPY if self.spec.is_precopy else TransferMode.SNAPSHOT).value,
+            wan_pacing=self.spec.wan_pacing,
         )
         self.handle = OperationHandle(self.sim, self.record)
         self.handle._operation = self
@@ -1027,7 +1031,24 @@ class MoveOperation(_StatefulOperation):
             self._enter_final_phase()
         else:
             self._round += 1
-            self._begin_copy_round()
+            # WAN-adaptive pacing: stretch the gap before the next delta round
+            # by the measured duration of the round that just drained, scaled
+            # by the spec's pacing gain.  Over a slow or jittery inter-domain
+            # channel the observed round duration already folds in bandwidth,
+            # latency, and jitter, so the pacing self-tunes without probing.
+            # A zero gain (the default) keeps today's back-to-back scheduling
+            # with no extra simulator events.
+            pacing_delay = self.spec.wan_pacing * self.record.rounds[-1]["duration"]
+            if pacing_delay > 0:
+                self.sim.schedule(pacing_delay, self._start_paced_round)
+            else:
+                self._begin_copy_round()
+
+    def _start_paced_round(self) -> None:
+        """Timer continuation for a WAN-paced delta round (no-op if aborted)."""
+        if self._archived:
+            return
+        self._begin_copy_round()
 
     def _enter_final_phase(self) -> None:
         """Begin the stop-and-copy round: freeze the flows, move the residual delta."""

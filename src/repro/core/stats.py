@@ -63,6 +63,46 @@ class ControllerStats:
                     self.precopy_delta_chunks += round_stats.get("chunks", 0)
                     self.precopy_delta_bytes += round_stats.get("bytes", 0)
 
+    def merge(self, *others: "ControllerStats") -> "ControllerStats":
+        """Fold one or more controllers' stats into a fleet-wide aggregate.
+
+        Returns a **new** :class:`ControllerStats`; neither ``self`` nor any
+        of *others* is mutated.  Every integer counter is summed and the
+        operation archives are concatenated (in argument order), so the
+        derived queries — :meth:`by_guarantee`, :meth:`by_mode`,
+        :meth:`mean_duration`, :meth:`summary` — report across the whole
+        federation exactly as they would for a single controller.  Merging is
+        associative and merging with a fresh instance is the identity, so
+        multi-domain benchmarks can fold domains in any grouping.
+        """
+        merged = ControllerStats()
+        for stats in (self, *others):
+            for field_name in (
+                "messages_received",
+                "messages_sent",
+                "batches_dispatched",
+                "messages_coalesced",
+                "events_received",
+                "events_forwarded",
+                "events_buffered",
+                "events_dropped",
+                "introspection_events",
+                "heartbeats_received",
+                "instances_killed",
+                "instances_declared_dead",
+                "standby_retries",
+                "operations_started",
+                "operations_completed",
+                "operations_failed",
+                "precopy_operations",
+                "precopy_rounds_total",
+                "precopy_delta_chunks",
+                "precopy_delta_bytes",
+            ):
+                setattr(merged, field_name, getattr(merged, field_name) + getattr(stats, field_name))
+            merged.records.extend(stats.records)
+        return merged
+
     # -- queries used by benchmarks and reports --------------------------------------
 
     def records_of_type(self, op_type: OperationType) -> List[OperationRecord]:

@@ -109,6 +109,13 @@ class TransferSpec:
     max_rounds: int = 3
     #: Pre-copy only: stop iterating (and freeze) once the dirty set is this small.
     dirty_threshold: int = 0
+    #: Pre-copy only: WAN-adaptive inter-round pacing gain.  After each
+    #: non-final round the operation waits ``wan_pacing`` times the *measured*
+    #: duration of the round it just finished before starting the next one, so
+    #: the gap between delta rounds stretches automatically with the observed
+    #: bandwidth, latency, and jitter of the (possibly inter-domain) channel.
+    #: ``0.0`` (the default) keeps today's back-to-back round scheduling.
+    wan_pacing: float = 0.0
 
     def __post_init__(self) -> None:
         """Validate field ranges; raises ValueError on malformed specs."""
@@ -124,6 +131,8 @@ class TransferSpec:
             raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
         if self.dirty_threshold < 0:
             raise ValueError(f"dirty_threshold must be >= 0, got {self.dirty_threshold}")
+        if self.wan_pacing < 0:
+            raise ValueError(f"wan_pacing must be >= 0, got {self.wan_pacing}")
 
     # -- canned configurations ---------------------------------------------------------
 
@@ -208,7 +217,14 @@ class TransferSpec:
             fields = dict(value)
             guarantee = guarantee_of(fields.pop("guarantee", TransferGuarantee.LOSS_FREE))
             mode = mode_of(fields.pop("mode", TransferMode.SNAPSHOT))
-            known_fields = {"parallelism", "batch_size", "early_release", "max_rounds", "dirty_threshold"}
+            known_fields = {
+                "parallelism",
+                "batch_size",
+                "early_release",
+                "max_rounds",
+                "dirty_threshold",
+                "wan_pacing",
+            }
             unknown = sorted(set(fields) - known_fields)
             if unknown:
                 raise SpecError(
@@ -249,6 +265,8 @@ class TransferSpec:
             parts.append(f"precopy{self.max_rounds}")
             if self.dirty_threshold > 0:
                 parts.append(f"thr{self.dirty_threshold}")
+            if self.wan_pacing > 0:
+                parts.append(f"wan{self.wan_pacing:g}")
         if self.parallelism == 1:
             parts.append("seq")
         elif self.parallelism > 1:

@@ -1,0 +1,217 @@
+"""Tunable anti-entropy gossip: versioned digests, TTL expiry, fanout selection.
+
+The federation layer (PAPERS.md: Femminella et al.'s gossip-based signaling
+dissemination; De Florio & Blondia's tunable gossip family) disseminates two
+kinds of soft state between controller domains:
+
+* **instance liveness** — which middlebox instance lives in which domain and
+  whether its home controller believes it alive (built from PR 5's heartbeat
+  state);
+* **flow ownership** — a versioned directory mapping canonical flow-key
+  tokens to the domain that owns their state
+  (:mod:`repro.federation.directory`).
+
+Both ride on the same machinery defined here: a :class:`VersionedMap` of
+last-writer-wins entries whose merge is **idempotent** and **commutative**
+(so digests may be duplicated, reordered, or crossed in flight without
+divergence), plus the three tunables of the gossip family:
+
+* ``fanout`` — how many peers each domain pushes its digest to per round;
+* ``interval`` — the gossip round period (simulated seconds);
+* ``ttl`` — how long an unrefreshed *tombstone* entry (``alive=False``
+  liveness records of dead instances) survives before it is garbage
+  collected from the digest.
+
+All randomness (peer selection) flows through an **injected**
+``random.Random`` per the repo's determinism policy (tests/test_determinism)
+so a federation run reproduces bit for bit from its seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """The tunables of the anti-entropy protocol (De Florio & Blondia)."""
+
+    #: Peers each domain pushes its digest to per gossip round.
+    fanout: int = 2
+    #: Gossip round period (simulated seconds).
+    interval: float = 2e-3
+    #: Lifetime of unrefreshed tombstone entries before garbage collection.
+    ttl: float = 0.25
+    #: Seed mixed (with the domain name) into each domain's private RNG.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate tunable ranges; raises ValueError on malformed configs."""
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {self.ttl}")
+
+
+@dataclass
+class VersionedEntry:
+    """One last-writer-wins fact: a key, its payload, and who versioned it."""
+
+    key: str
+    #: Domain that authored this version of the entry.
+    origin: str
+    #: Monotonic per-key version; higher versions win merges.
+    version: int
+    #: JSON-serialisable payload (e.g. ``{"domain": ..., "alive": ...}``).
+    value: Dict[str, Any]
+    #: Local receipt/refresh time — never on the wire; each receiver stamps
+    #: its own clock, and TTL expiry measures against this local stamp.
+    stamped_at: float = 0.0
+
+    def as_wire(self) -> Dict[str, Any]:
+        """The digest form of the entry (stamped_at stays local)."""
+        return {"key": self.key, "origin": self.origin, "version": self.version, "value": dict(self.value)}
+
+    def beats(self, other: "VersionedEntry") -> bool:
+        """Deterministic total order: higher version wins; ties go to the
+        lexicographically smaller origin so every replica picks the same
+        winner when two domains author the same version concurrently."""
+        if self.version != other.version:
+            return self.version > other.version
+        return self.origin < other.origin
+
+
+class VersionedMap:
+    """A mergeable map of :class:`VersionedEntry` facts.
+
+    ``merge`` is idempotent (re-merging a digest changes nothing) and
+    commutative (digest arrival order does not matter), which is what lets
+    the gossip layer tolerate the duplicated/reordered/lossy inter-domain
+    channels the chaos harness injects.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, VersionedEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[VersionedEntry]:
+        """The current winning entry for *key*, or None."""
+        return self._entries.get(key)
+
+    def value_of(self, key: str) -> Optional[Dict[str, Any]]:
+        """The current payload for *key*, or None."""
+        entry = self._entries.get(key)
+        return entry.value if entry is not None else None
+
+    def items(self) -> List[Tuple[str, VersionedEntry]]:
+        """Entries in deterministic (key-sorted) order."""
+        return sorted(self._entries.items())
+
+    def put(self, key: str, origin: str, value: Dict[str, Any], now: float) -> VersionedEntry:
+        """Author a new version of *key* locally (version = current + 1)."""
+        current = self._entries.get(key)
+        version = (current.version + 1) if current is not None else 1
+        entry = VersionedEntry(key=key, origin=origin, version=version, value=dict(value), stamped_at=now)
+        self._entries[key] = entry
+        return entry
+
+    def merge(self, digest: Sequence[Dict[str, Any]], now: float) -> List[str]:
+        """Fold a received digest in; returns the keys whose winner changed.
+
+        An incoming entry replaces the current one only when it *beats* it
+        (higher version, or same version from a smaller origin).  Receiving
+        the exact current version refreshes the local stamp — proof the
+        origin still asserts the fact — without counting as a change, which
+        is what makes the merge idempotent.
+        """
+        changed: List[str] = []
+        for wire in digest:
+            incoming = VersionedEntry(
+                key=str(wire["key"]),
+                origin=str(wire["origin"]),
+                version=int(wire["version"]),
+                value=dict(wire.get("value", {})),
+                stamped_at=now,
+            )
+            current = self._entries.get(incoming.key)
+            if current is None or incoming.beats(current):
+                self._entries[incoming.key] = incoming
+                changed.append(incoming.key)
+            elif incoming.version == current.version and incoming.origin == current.origin:
+                current.stamped_at = now
+        return changed
+
+    def expire(self, now: float, ttl: float, *, tombstones_only: bool = True) -> List[str]:
+        """Drop entries unrefreshed for longer than *ttl*; returns dropped keys.
+
+        By default only tombstones (payloads carrying ``alive=False``) are
+        garbage collected — durable facts like flow ownership never age out;
+        pass ``tombstones_only=False`` for maps whose every entry is soft
+        state.
+        """
+        dropped = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.stamped_at > ttl and (not tombstones_only or entry.value.get("alive") is False)
+        ]
+        for key in dropped:
+            del self._entries[key]
+        return sorted(dropped)
+
+    def digest(self) -> List[Dict[str, Any]]:
+        """The wire form of every entry, in deterministic key order."""
+        return [entry.as_wire() for _, entry in self.items()]
+
+    def fingerprint(self) -> Tuple[Tuple[str, int, str, str], ...]:
+        """A hashable summary used to test convergence between replicas."""
+        return tuple(
+            (key, entry.version, entry.origin, json.dumps(entry.value, sort_keys=True))
+            for key, entry in self.items()
+        )
+
+
+@dataclass
+class GossipState:
+    """The per-domain soft state the gossip rounds disseminate.
+
+    ``membership`` tracks controller domains (``{"alive": bool}``),
+    ``liveness`` tracks middlebox instances (``{"domain": str,
+    "alive": bool}``); the ownership directory keeps its own
+    :class:`VersionedMap` (see :mod:`repro.federation.directory`) but is
+    carried in the same digest message.
+    """
+
+    membership: VersionedMap = field(default_factory=VersionedMap)
+    liveness: VersionedMap = field(default_factory=VersionedMap)
+
+    def live_domains(self) -> List[str]:
+        """Domains currently believed alive, sorted."""
+        return sorted(key for key, entry in self.membership.items() if entry.value.get("alive"))
+
+    def instances_of(self, domain: str, *, alive: bool = True) -> List[str]:
+        """Instances homed in *domain* (optionally only live ones), sorted."""
+        return sorted(
+            key
+            for key, entry in self.liveness.items()
+            if entry.value.get("domain") == domain and (not alive or entry.value.get("alive"))
+        )
+
+
+def choose_peers(rng: random.Random, peers: Sequence[str], fanout: int) -> List[str]:
+    """Pick the gossip targets for one round: ``min(fanout, len(peers))`` of
+    *peers*, uniformly without replacement from the injected *rng* (sorted
+    first so the draw depends only on the rng state, not dict order)."""
+    ordered = sorted(peers)
+    if len(ordered) <= fanout:
+        return ordered
+    return sorted(rng.sample(ordered, fanout))

@@ -2,18 +2,24 @@
 
 from .chaos import (
     FAULT_PROFILES,
+    FED_AUX,
+    FED_DOMAINS,
     ChaosMiddlebox,
     ChaosResult,
     ChaosSpec,
     InvariantViolation,
     run_chaos,
+    run_federated_chaos,
 )
 
 __all__ = [
     "FAULT_PROFILES",
+    "FED_AUX",
+    "FED_DOMAINS",
     "ChaosMiddlebox",
     "ChaosResult",
     "ChaosSpec",
     "InvariantViolation",
     "run_chaos",
+    "run_federated_chaos",
 ]

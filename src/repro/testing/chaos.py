@@ -46,6 +46,7 @@ from ..core.channel import ControlChannel, FaultPlan
 from ..core.events import EventCode
 from ..core.flowspace import FlowKey, FlowPattern
 from ..core.transfer import TransferGuarantee, TransferMode, TransferSpec
+from ..federation import Federation, FederationConfig, GossipConfig
 from ..middleboxes.base import ProcessResult, Verdict
 from ..middleboxes.dummy import DummyMiddlebox
 from ..net.packet import tcp_packet
@@ -64,6 +65,12 @@ FAULT_PROFILES: Dict[str, Optional[Dict[str, float]]] = {
 SRC = "chaos-src"
 DST = "chaos-dst"
 STANDBY = "chaos-standby"
+#: The victim domain's orphan instance in federated scenarios (its home
+#: controller dies; the gossip-elected survivor must adopt it intact).
+FED_AUX = "chaos-fed-aux"
+#: Domain names of the federated chaos topology (the workload runs in dc0;
+#: dc2 is the domain whose controller the scenario kills).
+FED_DOMAINS = ("chaos-dc0", "chaos-dc1", "chaos-dc2")
 
 
 @dataclass
@@ -161,10 +168,20 @@ class ChaosResult:
     duplicates: int = 0
     #: The move retried onto the standby destination.
     retried_on_standby: bool = False
+    #: Completed runs: the workload move's duration and freeze (event
+    #: buffering) window in simulated seconds — benchmark reporting material.
+    move_duration: Optional[float] = None
+    freeze_window: Optional[float] = None
     #: Simulated time when the run settled.
     settled_at: float = 0.0
     #: Simulator callbacks executed (bit-for-bit reproducibility fingerprint).
     executed_events: int = 0
+    #: Federated scenarios only: the domain elected to adopt the dead one.
+    takeover_by: Optional[str] = None
+    #: Federated scenarios only: surviving domains' gossip views converged.
+    federation_converged: bool = False
+    #: Federated scenarios only: gossip rounds the survivors ran in total.
+    gossip_rounds: int = 0
 
     @property
     def ok(self) -> bool:
@@ -189,8 +206,8 @@ class ChaosMiddlebox(DummyMiddlebox):
     other per-flow state.
     """
 
-    def __init__(self, sim: Simulator, name: str, *, flows: int = 0, subnet: str = "10.7") -> None:
-        super().__init__(sim, name, chunk_count=0, subnet=subnet)
+    def __init__(self, sim: Simulator, name: str, *, flows: int = 0, subnet: str = "10.7", costs=None) -> None:
+        super().__init__(sim, name, chunk_count=0, subnet=subnet, costs=costs)
         if flows:
             self.populate(flows)
 
@@ -407,6 +424,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         return result
     if handle.completed.exception is None:
         result.outcome = "completed"
+        result.move_duration = handle.record.duration
+        result.freeze_window = handle.record.freeze_window
     else:
         result.outcome = "failed"
         result.error = str(handle.completed.exception)
@@ -427,26 +446,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
 
     # -- invariant 4a: no leaked holds / tags / tracking ------------------------------
     killed = state["killed"]
-    for name, middlebox in mbs.items():
-        if middlebox._held_flows or middlebox._held_packets:
-            result.violations.append(
-                InvariantViolation(
-                    "conservation",
-                    f"{name} leaked packet holds: flows={len(middlebox._held_flows)} "
-                    f"queued={sum(len(q) for q in middlebox._held_packets.values())}",
-                )
-            )
-        for role, store in (("support", middlebox.support_store), ("report", middlebox.report_store)):
-            if store.tracking_dirty:
-                result.violations.append(
-                    InvariantViolation("conservation", f"{name}.{role} store left with dirty tracking armed")
-                )
-        if name == killed or (result.outcome == "failed" and name == DST):
-            tags = middlebox.support_store.install_round_count + middlebox.report_store.install_round_count
-            if tags:
-                result.violations.append(
-                    InvariantViolation("conservation", f"{name} holds {tags} orphaned (op_id, round) install tags")
-                )
+    tag_suspects = {name for name in (killed,) if name is not None}
+    if result.outcome == "failed":
+        tag_suspects.add(DST)
+    _check_conservation(result, mbs, tag_suspects)
 
     # -- invariants 2 + 3: update fate ------------------------------------------------
     sent = driver.sent
@@ -465,6 +468,207 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         # every update delivered to a then-alive source survives there.
         if killed != SRC:
             _check_source_retention(result, sent, mbs[SRC].flow_seqs())
+    return result
+
+
+def _check_conservation(result: ChaosResult, mbs: Dict[str, ChaosMiddlebox], tag_suspects) -> None:
+    """Invariant 4a: no instance leaks holds, queued packets, armed dirty
+    tracking, or — for the instances in *tag_suspects* (killed/orphaned ones
+    and a failed move's destination) — ``(op_id, round)`` install tags."""
+    for name, middlebox in mbs.items():
+        if middlebox._held_flows or middlebox._held_packets:
+            result.violations.append(
+                InvariantViolation(
+                    "conservation",
+                    f"{name} leaked packet holds: flows={len(middlebox._held_flows)} "
+                    f"queued={sum(len(q) for q in middlebox._held_packets.values())}",
+                )
+            )
+        for role, store in (("support", middlebox.support_store), ("report", middlebox.report_store)):
+            if store.tracking_dirty:
+                result.violations.append(
+                    InvariantViolation("conservation", f"{name}.{role} store left with dirty tracking armed")
+                )
+        if name in tag_suspects:
+            tags = middlebox.support_store.install_round_count + middlebox.report_store.install_round_count
+            if tags:
+                result.violations.append(
+                    InvariantViolation("conservation", f"{name} holds {tags} orphaned (op_id, round) install tags")
+                )
+
+
+def run_federated_chaos(spec: ChaosSpec) -> ChaosResult:
+    """Run the federated chaos scenario: domain death under a lossy WAN.
+
+    Three controller domains gossip over inter-domain channels faulted with
+    the spec's profile (the "lossy inter-domain channel" axis).  The standard
+    move-under-load workload runs entirely inside ``chaos-dc0`` — so the four
+    classic invariants apply to it unchanged — while ``chaos-dc2``'s
+    controller is crashed mid-run.  The surviving domains must suspect the
+    death, elect the unique rendezvous successor, and adopt the victim's
+    orphan instance (:data:`FED_AUX`) via the crash-safe purge path, with its
+    populated per-flow state intact, the ownership directory re-homed, and
+    the survivors' gossip views converged.  All of it is seeded by the same
+    single master ``random.Random`` discipline as :func:`run_chaos`.
+    """
+    master = random.Random(spec.seed)
+    sim = Simulator()
+    profile = FAULT_PROFILES[spec.profile]
+    fed_config = FederationConfig(
+        gossip=GossipConfig(fanout=2, interval=1e-3, ttl=0.25, seed=master.randrange(2**31)),
+        # Above the worst single-retransmit stall of the reliable WAN channel
+        # (a dropped digest head-of-line blocks in-order delivery for about a
+        # retransmit timeout, ~15 ms at 2 ms base latency) so false suspicion
+        # between survivors stays rare; the obituary-healing path in
+        # FederatedDomain covers the residual double-drop cases.
+        suspicion_timeout=2.5e-2,
+    )
+    federation = Federation(sim, fed_config)
+    controller_config = ControllerConfig(quiescence_timeout=spec.quiescence, num_shards=spec.shards)
+    for domain_name in FED_DOMAINS:
+        federation.add_domain(domain_name, controller_config=controller_config)
+    for i, a in enumerate(FED_DOMAINS):
+        for b in FED_DOMAINS[i + 1 :]:
+            plan = FaultPlan.symmetric(master.randrange(2**31), **profile) if profile else None
+            federation.connect(a, b, latency=2e-3, bandwidth=12.5e6, faults=plan)
+    workload, victim = federation.domains[FED_DOMAINS[0]], federation.domains[FED_DOMAINS[2]]
+
+    mbs: Dict[str, ChaosMiddlebox] = {}
+    channels: Dict[str, ControlChannel] = {}
+
+    def add(domain, name: str, flows: int = 0, subnet: str = "10.7") -> ChaosMiddlebox:
+        middlebox = ChaosMiddlebox(sim, name, flows=flows, subnet=subnet)
+        channel = None
+        if profile is not None:
+            plan = FaultPlan.symmetric(master.randrange(2**31), **profile)
+            channel = ControlChannel(sim, f"chan-{name}", faults=plan)
+        channels[name] = domain.register(middlebox, channel=channel)
+        mbs[name] = middlebox
+        return middlebox
+
+    source = add(workload, SRC, flows=spec.flows)
+    add(workload, DST)
+    aux = add(victim, FED_AUX, flows=spec.flows, subnet="10.9")
+    workload.claim_flows([key.bidirectional() for key in (source.flow_key_for(i) for i in range(spec.flows))])
+    victim.claim_flows([key.bidirectional() for key in (aux.flow_key_for(i) for i in range(spec.flows))])
+    aux_expected = {key: dict(record) for key, record in aux.support_store.items()}
+
+    driver = _TrafficDriver(sim, spec, mbs)
+    driver.start()
+
+    result = ChaosResult(spec=spec)
+    state: Dict[str, object] = {"handle": None}
+
+    def start_move() -> None:
+        state["handle"] = workload.controller.move_internal(SRC, DST, FlowPattern.wildcard(), spec.transfer_spec())
+
+    sim.schedule(spec.move_at, start_move)
+    crash_at = spec.kill_time if spec.kill_time is not None else 4e-3
+    sim.schedule(crash_at, lambda: federation.crash_domain(victim.name))
+
+    def adopted() -> bool:
+        return any(domain.takeovers for domain in federation.live_domains())
+
+    def settled() -> bool:
+        handle = state["handle"]
+        return (
+            handle is not None
+            and handle.completed.done
+            and handle.finalized.done
+            and driver.finished
+            and adopted()
+            and federation.converged()
+        )
+
+    while sim.now < spec.limit and not settled() and (sim.pending_events or sim.now == 0.0):
+        sim.run(until=min(spec.limit, sim.now + 0.01))
+    sim.run(until=sim.now + 3 * spec.quiescence + 0.05)
+    # A rare false suspicion between the survivors (a WAN retransmit stall)
+    # may have churned the membership views during the drain; the healing
+    # path always re-converges them, so wait for that before freezing the
+    # federation — stop() at a diverged instant would fossilise the churn.
+    while sim.now < spec.limit and not federation.converged() and sim.pending_events:
+        sim.run(until=min(spec.limit, sim.now + 0.01))
+    federation.stop()
+    sim.run(until=sim.now + 0.05)
+
+    result.settled_at = sim.now
+    result.executed_events = sim.executed_events
+    result.delivered = driver.delivered
+    result.gossip_rounds = sum(domain.gossip_rounds for domain in federation.live_domains())
+    handle = state["handle"]
+
+    # -- invariant 1: termination (workload move + takeover + convergence) -----------
+    if handle is None or not handle.completed.done:
+        result.violations.append(
+            InvariantViolation("termination", f"operation did not reach a terminal state by t={sim.now:.3f}")
+        )
+        return result
+    if handle.completed.exception is None:
+        result.outcome = "completed"
+        result.move_duration = handle.record.duration
+        result.freeze_window = handle.record.freeze_window
+    else:
+        result.outcome = "failed"
+        result.error = str(handle.completed.exception)
+    if not handle.finalized.done:
+        result.violations.append(
+            InvariantViolation("termination", "completed but never finalized (quiescence step stuck)")
+        )
+
+    # -- federated invariants: elected takeover, adoption, convergence ---------------
+    adopters = sorted(domain.name for domain in federation.live_domains() if victim.name in domain.takeovers)
+    if len(adopters) != 1:
+        result.violations.append(
+            InvariantViolation("takeover", f"expected exactly one elected adopter of {victim.name}, got {adopters}")
+        )
+    else:
+        result.takeover_by = adopters[0]
+        adopter = federation.domains[adopters[0]]
+        if not adopter.controller.is_registered(FED_AUX):
+            result.violations.append(
+                InvariantViolation("takeover", f"{adopters[0]} elected but never re-homed {FED_AUX}")
+            )
+        orphan_tokens = adopter.directory.tokens_owned_by(victim.name)
+        if orphan_tokens:
+            result.violations.append(
+                InvariantViolation(
+                    "takeover", f"{len(orphan_tokens)} ownership entries still homed in dead {victim.name}"
+                )
+            )
+    result.federation_converged = federation.converged()
+    if not result.federation_converged:
+        result.violations.append(
+            InvariantViolation("takeover", "surviving domains' gossip views never converged")
+        )
+    observed_aux = {key: record for key, record in aux.support_store.items()}
+    missing = [key for key in aux_expected if key not in observed_aux]
+    if missing:
+        result.violations.append(
+            InvariantViolation("lost-updates", f"{FED_AUX} lost {len(missing)} per-flow entries in the takeover")
+        )
+
+    # -- channel accounting ----------------------------------------------------------
+    for channel in channels.values():
+        result.messages += channel.total_messages
+        result.drops += channel.total_dropped
+        result.retransmits += channel.total_retransmits
+        result.dedup_discards += channel.to_mb.dedup_discards + channel.to_controller.dedup_discards
+        result.duplicates += channel.to_mb.duplicated + channel.to_controller.duplicated
+
+    # -- invariants 2-4 on the workload move -----------------------------------------
+    tag_suspects = {DST} if result.outcome == "failed" else set()
+    _check_conservation(result, mbs, tag_suspects)
+    if result.outcome == "completed":
+        _check_owner_state(result, spec, driver.sent, mbs[DST].flow_seqs(), DST)
+        if spec.guarantee in ("loss_free", "order_preserving") and handle.finalized.exception is None:
+            leftovers = sum(len(seqs) for seqs in mbs[SRC].flow_seqs().values())
+            if leftovers:
+                result.violations.append(
+                    InvariantViolation("conservation", f"source retained {leftovers} seqs after finalize")
+                )
+    else:
+        _check_source_retention(result, driver.sent, mbs[SRC].flow_seqs())
     return result
 
 

@@ -25,7 +25,7 @@ import pytest
 from repro.core import ControllerConfig, MBController, NorthboundAPI
 from repro.middleboxes import NAT
 from repro.net import Simulator, tcp_packet
-from repro.testing import ChaosSpec, run_chaos
+from repro.testing import ChaosSpec, run_chaos, run_federated_chaos
 
 GUARANTEES = ("no_guarantee", "loss_free", "order_preserving")
 MODES = ("snapshot", "precopy")
@@ -60,6 +60,47 @@ class TestChaosMatrix:
     def test_matrix_size_meets_the_issue_floor(self):
         """The default matrix runs at least 200 seeded scenarios."""
         assert len(GUARANTEES) * len(MODES) * len(SHARD_COUNTS) * len(PROFILES) * SEEDS >= 200
+
+
+class TestFederatedChaosProfile:
+    """Domain death under lossy inter-domain channels (PR 7 federation).
+
+    Each scenario runs the classic move-under-load workload inside a
+    3-domain federation whose WAN links carry the fault profile, crashes one
+    whole domain mid-run, and checks — on top of the four classic invariants —
+    that exactly one gossip-elected survivor adopted the orphan instance with
+    zero lost per-flow state, re-homed the ownership directory, and that the
+    survivors' gossip views converged.
+    """
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_takeover_invariants_hold_across_seeds(self, profile):
+        for index in range(SEEDS):
+            spec = ChaosSpec(
+                seed=index * 613 + 7,
+                guarantee="loss_free",
+                mode="precopy",
+                profile=profile,
+            )
+            result = run_federated_chaos(spec)
+            result.assert_ok()
+            assert result.outcome == "completed"
+            assert result.takeover_by is not None
+            assert result.federation_converged
+            assert result.lost_updates == 0
+
+    def test_federated_runs_are_seed_deterministic(self):
+        spec = ChaosSpec(seed=29, guarantee="loss_free", mode="precopy", profile="chaotic")
+        first = run_federated_chaos(spec)
+        second = run_federated_chaos(spec)
+        assert first.executed_events == second.executed_events
+        assert first.settled_at == second.settled_at
+        assert (first.messages, first.drops, first.retransmits) == (
+            second.messages,
+            second.drops,
+            second.retransmits,
+        )
+        assert first.takeover_by == second.takeover_by
 
 
 class TestAcceptanceScenarios:
