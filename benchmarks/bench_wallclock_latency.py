@@ -1,0 +1,143 @@
+"""Wall-clock get/put control-plane latency on the realtime runtime.
+
+The simulated twin is ``bench_fig9ab_get_put_time``; here each southbound
+round trip is bracketed with ``time.monotonic()``: issue one
+``getPerflow`` (wildcard, supporting state) against a populated dummy
+middlebox and time until ``GET_COMPLETE`` arrives back at the controller,
+then put one chunk to the destination and time until its ``ACK``.  Repeating
+the round trip many times yields real p50/p99 control-plane latency — the
+first honest latency numbers in the repo's perf trail, persisted as
+``BENCH_wallclock_latency.json``.
+
+Runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_latency.py --iterations 100
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table, print_block
+from repro.core import ControllerConfig, FlowPattern, MBController, messages
+from repro.core.messages import MessageType
+from repro.core.state import StateRole
+from repro.middleboxes import DummyMiddlebox
+from repro.runtime import RuntimeConfig
+
+try:
+    from benchmarks._results import duration_stats, write_results
+except ModuleNotFoundError:  # invoked as a script: benchmarks/ is sys.path[0]
+    from _results import duration_stats, write_results
+
+#: Round trips per series — enough samples for a meaningful p99.
+ITERATIONS = 100
+#: Chunks held by the source (each get streams all of them back).
+CHUNKS = 10
+
+
+def run_get_put_latency(iterations: int = ITERATIONS, *, chunks: int = CHUNKS) -> dict:
+    """Measure *iterations* wall-clock get and put round trips; returns both series."""
+    runtime = RuntimeConfig(mode="realtime").create()
+    try:
+        controller = MBController(runtime, ControllerConfig(quiescence_timeout=0.01))
+        src = DummyMiddlebox(runtime, "latency-src", chunk_count=chunks)
+        dst = DummyMiddlebox(runtime, "latency-dst")
+        controller.register(src)
+        controller.register(dst)
+        get_latencies, put_latencies = [], []
+        for index in range(iterations):
+            received = []
+            done = runtime.event(f"get-{index}")
+
+            def on_get_reply(message, received=received, done=done):
+                if message.type == MessageType.STATE_CHUNK:
+                    received.append(messages.decode_chunk(message.body["chunk"]))
+                elif message.type == MessageType.GET_COMPLETE:
+                    done.succeed(None)
+
+            started = time.monotonic()
+            controller.send(
+                src.name,
+                messages.get_perflow(src.name, StateRole.SUPPORTING, FlowPattern.wildcard()),
+                on_reply=on_get_reply,
+            )
+            runtime.run_until(done, limit=runtime.now + 10.0)
+            get_latencies.append(time.monotonic() - started)
+            assert len(received) == chunks
+
+            acked = runtime.event(f"put-{index}")
+
+            def on_put_reply(message, acked=acked):
+                if message.type == MessageType.ACK:
+                    acked.succeed(None)
+
+            started = time.monotonic()
+            controller.send(dst.name, messages.put_perflow(dst.name, received[0]), on_reply=on_put_reply)
+            runtime.run_until(acked, limit=runtime.now + 10.0)
+            put_latencies.append(time.monotonic() - started)
+        result = {"get": get_latencies, "put": put_latencies}
+    finally:
+        close = runtime.close()
+    result["close"] = close
+    return result
+
+
+def _persist(result: dict) -> None:
+    write_results(
+        "wallclock_latency",
+        {
+            "workload": {"iterations": len(result["get"]), "chunks_per_get": CHUNKS},
+            "get": duration_stats(result["get"]),
+            "put": duration_stats(result["put"]),
+        },
+    )
+
+
+def _print(result: dict) -> None:
+    rows = []
+    for op in ("get", "put"):
+        stats = duration_stats(result[op])
+        rows.append((op, stats["ops_per_sec"], stats["p50_ms"], stats["p99_ms"], stats["mean_ms"]))
+    print_block(
+        format_table(
+            f"Wall-clock southbound round trips — {CHUNKS} chunks/get, {len(result['get'])} iterations",
+            ["op", "ops/sec", "p50 (ms)", "p99 (ms)", "mean (ms)"],
+            rows,
+        )
+    )
+
+
+def test_wallclock_get_put_latency(once):
+    result = once(run_get_put_latency)
+    _print(result)
+    _persist(result)
+
+    assert result["close"]["processes_leaked"] == 0
+    assert result["close"]["lane_backlog"] == 0
+    for op in ("get", "put"):
+        stats = duration_stats(result[op])
+        # Real latencies: strictly positive, ordered percentiles, sane rate.
+        assert stats["count"] == ITERATIONS
+        assert 0 < stats["p50_ms"] <= stats["p99_ms"]
+        assert stats["ops_per_sec"] > 0
+    # A wildcard get streams every chunk back plus completion, so it cannot be
+    # cheaper than a single-chunk put at the median.
+    assert duration_stats(result["get"])["p50_ms"] >= duration_stats(result["put"])["p50_ms"] * 0.5
+
+
+def main() -> None:
+    """CLI entry point: measure the round-trip series directly."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Wall-clock get/put control-plane latency")
+    parser.add_argument("--iterations", type=int, default=ITERATIONS)
+    parser.add_argument("--chunks", type=int, default=CHUNKS)
+    args = parser.parse_args()
+    result = run_get_put_latency(args.iterations, chunks=args.chunks)
+    _print(result)
+    _persist(result)
+
+
+if __name__ == "__main__":
+    main()

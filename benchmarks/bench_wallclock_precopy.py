@@ -1,0 +1,156 @@
+"""Wall-clock snapshot-vs-precopy freeze windows under live packet load.
+
+The simulated twin is the mode axis of ``bench_fig10a_move_time``; here the
+same move-under-load experiment runs on the realtime runtime, so the freeze
+window — the span during which flows are marked in-transfer and their events
+buffer — is a span of **real monotonic time**.  Each mode is repeated several
+times to give the p50/p99 freeze and duration statistics meaning, and every
+repeat checks update conservation: packets injected at the source must all
+survive at the source or destination once the move finalizes (zero lost
+updates under loss-free).
+
+Persisted as ``BENCH_wallclock_precopy.json``.  Runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_precopy.py --mode precopy
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table, print_block
+from repro.core import TransferSpec
+
+try:
+    from benchmarks.conftest import realtime_controller_with_dummies
+    from benchmarks._results import duration_stats, freeze_stats, write_results
+except ModuleNotFoundError:  # invoked as a script: benchmarks/ is sys.path[0]
+    from conftest import realtime_controller_with_dummies
+    from _results import duration_stats, freeze_stats, write_results
+
+#: Per-pair chunk count (the move transfers 2x this: supporting + reporting).
+CHUNKS = 200
+#: Live packet rate (packets/second of runtime == wall time) and duration.
+TRAFFIC_RATE = 2000.0
+TRAFFIC_DURATION = 0.05
+#: Repeats per mode — wall clocks jitter, so report distributions, not points.
+REPEATS = 5
+
+
+def run_move_under_load(mode: str, *, chunks: int = CHUNKS, rate: float = TRAFFIC_RATE) -> dict:
+    """One loss-free wall-clock move while live packets update the source."""
+    spec = TransferSpec.precopy() if mode == "precopy" else TransferSpec.default()
+    runtime, controller, northbound, pairs = realtime_controller_with_dummies([chunks])
+    try:
+        src, dst = pairs[0]
+        injected = src.drive_traffic_at_rate(rate, TRAFFIC_DURATION)
+        wall_start = time.monotonic()
+        handle = northbound.move_internal(src.name, dst.name, None, spec=spec)
+        record = runtime.run_until(handle.finalized, limit=runtime.now + 60.0)
+        wall_elapsed = time.monotonic() - wall_start
+        runtime.run(until=runtime.now + 0.1)  # late replays + deletes settle
+        counted = sum(rec.get("packets", 0) for _, rec in src.support_store.items())
+        counted += sum(rec.get("packets", 0) for _, rec in dst.support_store.items())
+        result = {
+            "mode": record.mode,
+            "duration": record.duration,
+            "wall_elapsed": wall_elapsed,
+            "freeze_window": record.freeze_window,
+            "chunks": record.chunks_transferred,
+            "rounds": record.precopy_rounds,
+            "updates_lost": injected - counted,
+        }
+    finally:
+        close = runtime.close()
+    result["close"] = close
+    return result
+
+
+def _persist(by_mode: dict) -> None:
+    write_results(
+        "wallclock_precopy",
+        {
+            "workload": {
+                "chunks": CHUNKS * 2,
+                "traffic_rate": TRAFFIC_RATE,
+                "traffic_duration": TRAFFIC_DURATION,
+                "repeats": REPEATS,
+                "guarantee": "loss_free",
+            },
+            "modes": {
+                mode: {
+                    "move": duration_stats([r["duration"] for r in runs]),
+                    "freeze": freeze_stats([r["freeze_window"] for r in runs]),
+                    "rounds": [r["rounds"] for r in runs],
+                    "updates_lost": sum(r["updates_lost"] for r in runs),
+                }
+                for mode, runs in by_mode.items()
+            },
+        },
+    )
+
+
+def _print(by_mode: dict) -> None:
+    print_block(
+        format_table(
+            f"Wall-clock move under load — {CHUNKS * 2} chunks, {TRAFFIC_RATE:.0f} pkt/s (realtime runtime)",
+            ["mode", "p50 move (ms)", "p50 freeze (ms)", "p99 freeze (ms)", "rounds", "lost"],
+            [
+                (
+                    mode,
+                    duration_stats([r["duration"] for r in runs])["p50_ms"],
+                    freeze_stats([r["freeze_window"] for r in runs])["p50_ms"],
+                    freeze_stats([r["freeze_window"] for r in runs])["p99_ms"],
+                    max(r["rounds"] for r in runs),
+                    sum(r["updates_lost"] for r in runs),
+                )
+                for mode, runs in by_mode.items()
+            ],
+        )
+    )
+
+
+def test_wallclock_precopy_freeze_window(once):
+    """Pre-copy shrinks the *measured* freeze window; nothing is lost either way."""
+
+    def run_all():
+        return {
+            mode: [run_move_under_load(mode) for _ in range(REPEATS)]
+            for mode in ("snapshot", "precopy")
+        }
+
+    by_mode = once(run_all)
+    _print(by_mode)
+    _persist(by_mode)
+
+    for runs in by_mode.values():
+        for result in runs:
+            assert result["updates_lost"] == 0
+            assert result["chunks"] >= CHUNKS * 2
+            assert result["close"]["processes_leaked"] == 0
+            # Freeze is a real sub-span of the move's wall time.
+            assert 0 < result["freeze_window"] <= result["duration"] <= result["wall_elapsed"] * 1.05
+    snapshot_freeze = freeze_stats([r["freeze_window"] for r in by_mode["snapshot"]])
+    precopy_freeze = freeze_stats([r["freeze_window"] for r in by_mode["precopy"]])
+    # The PR-4 claim, now in wall time: the final-delta freeze beats the
+    # whole-transfer freeze at the median (p99 is left to the JSON trail —
+    # single outliers on shared CI runners should not fail the suite).
+    assert precopy_freeze["p50_ms"] < snapshot_freeze["p50_ms"]
+    assert all(r["rounds"] >= 1 for r in by_mode["precopy"])
+
+
+def main() -> None:
+    """CLI entry point: measure one mode directly (``--mode snapshot|precopy``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Wall-clock freeze window: snapshot vs iterative pre-copy")
+    parser.add_argument("--mode", default="precopy", choices=["snapshot", "precopy"])
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args()
+    runs = [run_move_under_load(args.mode) for _ in range(args.repeats)]
+    _print({args.mode: runs})
+    _persist({args.mode: runs})
+
+
+if __name__ == "__main__":
+    main()

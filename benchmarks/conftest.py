@@ -18,6 +18,7 @@ import pytest
 from repro.core import ControllerConfig, MBController, NorthboundAPI
 from repro.middleboxes import DummyMiddlebox
 from repro.net import Simulator
+from repro.runtime import RuntimeConfig
 
 
 def controller_with_dummies(chunk_counts, *, quiescence: float = 0.1, per_message_cost: float = 40e-6):
@@ -39,6 +40,37 @@ def controller_with_dummies(chunk_counts, *, quiescence: float = 0.1, per_messag
         controller.register(dst)
         pairs.append((src, dst))
     return sim, controller, northbound, pairs
+
+
+def realtime_controller_with_dummies(
+    chunk_counts,
+    *,
+    shards: int = 1,
+    quiescence: float = 0.01,
+    per_message_cost: float = 40e-6,
+):
+    """The wall-clock twin of :func:`controller_with_dummies`.
+
+    Same controller + dummy-pair topology, but on a :class:`RealtimeRuntime`
+    (``RuntimeConfig(mode="realtime")``): delays are real ``asyncio`` sleeps
+    and ``runtime.now`` tracks the monotonic clock, so every duration the
+    ``bench_wallclock_*`` family reports is measured wall time.  Callers own
+    the runtime and must call ``runtime.close()`` when done.
+    """
+    runtime = RuntimeConfig(mode="realtime").create()
+    controller = MBController(
+        runtime,
+        ControllerConfig(quiescence_timeout=quiescence, per_message_cost=per_message_cost, num_shards=shards),
+    )
+    northbound = NorthboundAPI(controller)
+    pairs = []
+    for index, count in enumerate(chunk_counts):
+        src = DummyMiddlebox(runtime, f"dummy-src-{index}", chunk_count=count)
+        dst = DummyMiddlebox(runtime, f"dummy-dst-{index}")
+        controller.register(src)
+        controller.register(dst)
+        pairs.append((src, dst))
+    return runtime, controller, northbound, pairs
 
 
 @pytest.fixture

@@ -254,9 +254,13 @@ class ControlChannel:
         #: True once the middlebox side crashed (kill): controller->middlebox
         #: deliveries are discarded and retransmissions stop.
         self._mb_down = False
-        # Serialisation points: each direction delivers messages in order.
-        self._mb_free_at = 0.0
-        self._controller_free_at = 0.0
+        #: Serialisation points: one runtime lane per direction models wire
+        #: occupancy (``reserve``) and delivers in order (``dispatch_at``).
+        #: On the realtime runtime each direction is its own asyncio task.
+        self._wire = {
+            "to_mb": sim.lane(f"{name}:to_mb"),
+            "to_controller": sim.lane(f"{name}:to_controller"),
+        }
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -380,13 +384,11 @@ class ControlChannel:
     def _transmit(self, message: Message, direction: str) -> float:
         """Serialise, apply faults, and schedule delivery of one message."""
         stats = self._stats_for(direction)
-        free_attr = "_mb_free_at" if direction == "to_mb" else "_controller_free_at"
+        wire = self._wire[direction]
         encoded = message.encode()
         stats.record(len(encoded))
         transfer = len(encoded) / self.bandwidth if self.bandwidth else 0.0
-        start = max(self.sim.now, getattr(self, free_attr))
-        finish = start + transfer
-        setattr(self, free_attr, finish)
+        finish = wire.reserve(transfer)
         delivery_time = finish + self.latency
         if message.type != MessageType.CHAN_ACK:
             self._payload_sent[direction] += 1
@@ -396,7 +398,7 @@ class ControlChannel:
                 return finish + self.latency  # dropped on the wire
         delivered = Message.decode(encoded) if self.reencode else message
         receiver = self._receive_at_middlebox if direction == "to_mb" else self._receive_at_controller
-        self.sim.schedule_at(delivery_time, receiver, delivered)
+        wire.dispatch_at(delivery_time, receiver, delivered)
         return delivery_time
 
     def _apply_faults(
@@ -436,7 +438,7 @@ class ControlChannel:
             stats.duplicated += 1
             copy = Message.decode(encoded) if self.reencode else message
             receiver = self._receive_at_middlebox if direction == "to_mb" else self._receive_at_controller
-            self.sim.schedule_at(delivery_time + self.latency * rng.random(), receiver, copy)
+            self._wire[direction].dispatch_at(delivery_time + self.latency * rng.random(), receiver, copy)
         return delivery_time
 
     # -- receiving (reliability layer) --------------------------------------------------

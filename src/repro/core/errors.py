@@ -100,3 +100,40 @@ class NetworkError(OpenMBError):
 
 class SimulationError(OpenMBError):
     """The discrete-event simulator was used incorrectly."""
+
+
+class StuckFutureError(SimulationError):
+    """``run_until`` could not drive its future to completion.
+
+    Raised with a diagnosis of *why* the run wedged instead of a bare
+    message: which future is stuck, how many done-callbacks are waiting on
+    it, how deep the event queue was, and whether the runtime stopped because
+    the queue drained (nothing left that could ever complete the future) or
+    because the time ``limit`` was exceeded.  The structured fields mirror
+    the rendered message so harnesses can assert on them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        future_name: str = "",
+        reason: str = "queue-drained",
+        waiters: int = 0,
+        queue_depth: int = 0,
+        at: float = 0.0,
+        limit: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Name of the future that never completed (``Future.name``).
+        self.future_name = future_name
+        #: ``"queue-drained"`` or ``"limit-exceeded"``.
+        self.reason = reason
+        #: Done-callbacks still registered on the stuck future.
+        self.waiters = waiters
+        #: Events still queued when the run gave up.
+        self.queue_depth = queue_depth
+        #: Runtime time at which the run gave up.
+        self.at = at
+        #: The time limit that was exceeded (``None`` for queue drains).
+        self.limit = limit

@@ -176,8 +176,10 @@ class ControllerShard:
         self.sim = sim
         self.shard_id = shard_id
         self.stats = ShardStats()
-        #: Simulated CPU: the time at which this shard next becomes free.
-        self._cpu_free_at = 0.0
+        #: This shard's CPU: a runtime lane serialising all message handling.
+        #: On the simulator it is tick arithmetic; on the realtime runtime it
+        #: is this shard's own asyncio task — shards genuinely run in parallel.
+        self._cpu = sim.lane(f"shard-{shard_id}")
         #: Source middlebox name -> operations registered for its events.
         self._interest: Dict[str, List["_StatefulOperation"]] = {}
 
@@ -185,17 +187,14 @@ class ControllerShard:
 
     def on_cpu(self, cost: float, work: Callable[[], None]) -> None:
         """Run *work* after *cost* seconds of this shard's (serialised) CPU time."""
-        start = max(self.sim.now, self._cpu_free_at)
-        finish = start + cost
-        self._cpu_free_at = finish
         self.stats.messages += 1
         self.stats.busy_time += cost
-        self.sim.schedule_at(finish, work)
+        self._cpu.submit(cost, work)
 
     @property
     def idle_at(self) -> float:
-        """Earliest simulated time at which this shard's CPU queue is empty."""
-        return max(self.sim.now, self._cpu_free_at)
+        """Earliest runtime time at which this shard's CPU queue is empty."""
+        return self._cpu.idle_at
 
     # -- event interest ----------------------------------------------------------------
 

@@ -250,8 +250,9 @@ class SouthboundAgent:
         self.channel = channel
         self.stats = AgentStats()
         # The middlebox handles state-import work sequentially (a single control
-        # thread in the paper's prototype), so puts queue behind one another.
-        self._import_free_at = 0.0
+        # thread in the paper's prototype), so puts queue behind one another:
+        # one runtime lane serialises them.
+        self._import = sim.lane(f"import:{middlebox.name}")
         #: Liveness beacon period; None (the default) sends no heartbeats, so
         #: the seed's event schedule is untouched unless liveness is enabled.
         self._heartbeat_interval: Optional[float] = None
@@ -519,10 +520,7 @@ class SouthboundAgent:
             self.stats.chunks_received += 1
             self._ack(message, {"key": chunk.key.as_dict(), "role": chunk.role.value})
 
-        start = max(self.sim.now, self._import_free_at)
-        finish = start + self.middlebox.costs.put_per_chunk
-        self._import_free_at = finish
-        self.sim.schedule_at(finish, respond)
+        self._import.submit(self.middlebox.costs.put_per_chunk, respond)
 
     def _handle_put_perflow_batch(self, message: Message) -> None:
         chunks = [messages.decode_chunk(body) for body in message.body.get("chunks", [])]
@@ -549,10 +547,7 @@ class SouthboundAgent:
 
         # Importing a batch occupies the single import thread for the sum of the
         # per-chunk costs, but produces a single ACK.
-        start = max(self.sim.now, self._import_free_at)
-        finish = start + self.middlebox.costs.put_per_chunk * max(1, len(chunks))
-        self._import_free_at = finish
-        self.sim.schedule_at(finish, respond)
+        self._import.submit(self.middlebox.costs.put_per_chunk * max(1, len(chunks)), respond)
 
     def _handle_del_perflow(self, message: Message) -> None:
         role = StateRole(message.body["role"])

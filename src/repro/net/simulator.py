@@ -14,6 +14,13 @@ clock provided by :class:`Simulator`.  The kernel supplies:
 The simulated clock is what makes the paper's race conditions reproducible:
 packets in flight when a routing update lands, re-process events racing puts,
 and quiescence timers all happen at explicit simulated times.
+
+:class:`Simulator` is also the **reference implementation of the runtime
+scheduling interface** (see :mod:`repro.runtime`): every component schedules
+exclusively through ``now`` / ``schedule`` / ``schedule_at`` / ``event`` /
+``timeout`` / ``process`` / ``lane`` / ``run`` / ``run_until``, so the same
+controller, channels, and middleboxes run unchanged on the wall-clock
+:class:`~repro.runtime.RealtimeRuntime`.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-from ..core.errors import SimulationError
+from ..core.errors import SimulationError, StuckFutureError
 
 
 class Future:
@@ -118,6 +125,85 @@ def all_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
     return combined
 
 
+class ScheduledCall:
+    """Handle for one scheduled callback; :meth:`cancel` prevents it running.
+
+    Cancellation is cheap and idempotent: the entry stays in the time-ordered
+    queue but is skipped (without counting as an executed event) when its
+    time comes.  Both runtimes return these from ``schedule``/``schedule_at``.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else f"at t={self.time}"
+        return f"<ScheduledCall {getattr(self.callback, '__name__', self.callback)} {state}>"
+
+
+class SimulatedLane:
+    """A serialisation point (a CPU or a wire direction) on the simulated clock.
+
+    A lane models one resource that handles work strictly one item at a time:
+    a controller shard's CPU, or one direction of a control channel.  On the
+    simulator this is plain tick arithmetic over a ``free_at`` watermark —
+    exactly the pattern the seed embedded in :class:`ControllerShard` and
+    :class:`ControlChannel` — so routing those components through lanes keeps
+    the simulated schedule bit-for-bit identical.  On the
+    :class:`~repro.runtime.RealtimeRuntime` each lane is backed by its own
+    asyncio task, which is what turns "per-shard simulated CPU" into real
+    concurrency.
+    """
+
+    __slots__ = ("sim", "name", "_free_at")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._free_at = 0.0
+
+    def reserve(self, cost: float) -> float:
+        """Claim *cost* seconds of this lane's serialised time; returns the finish time."""
+        start = max(self.sim.now, self._free_at)
+        finish = start + cost
+        self._free_at = finish
+        return finish
+
+    def submit(self, cost: float, work: Callable[[], None]) -> float:
+        """Run *work* after *cost* seconds of this lane's serialised time."""
+        finish = self.reserve(cost)
+        self.sim.schedule_at(finish, work)
+        return finish
+
+    def dispatch_at(self, time: float, callback: Callable, *args: Any) -> None:
+        """Deliver ``callback(*args)`` at absolute *time*, in time order.
+
+        Equal times preserve dispatch order (FIFO tie-breaking) — on the
+        simulator this is simply :meth:`Simulator.schedule_at`.
+        """
+        self.sim.schedule_at(time, callback, *args)
+
+    @property
+    def idle_at(self) -> float:
+        """Earliest time at which this lane's queue is (projected to be) empty."""
+        return max(self.sim.now, self._free_at)
+
+    @property
+    def pending(self) -> int:
+        """Work items queued but not yet executed (always 0 here: the
+        simulator's lane schedules straight onto the global event queue)."""
+        return 0
+
+
 class _Process:
     """Driver for a generator-based simulation process.
 
@@ -175,7 +261,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._queue: List[Tuple[float, int, ScheduledCall]] = []
         self._sequence = itertools.count()
         #: Number of callbacks executed so far (useful for determinism checks).
         self.executed_events = 0
@@ -187,17 +273,27 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledCall:
         """Run ``callback(*args)`` *delay* simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self._now + delay, callback, *args)
 
-    def schedule_at(self, time: float, callback: Callable, *args: Any) -> None:
-        """Run ``callback(*args)`` at absolute simulated *time*."""
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` at absolute simulated *time*.
+
+        Returns a :class:`ScheduledCall` whose :meth:`~ScheduledCall.cancel`
+        prevents the callback from running.
+        """
         if time < self._now:
             raise SimulationError(f"cannot schedule into the past (time={time}, now={self._now})")
-        heapq.heappush(self._queue, (time, next(self._sequence), callback, args))
+        entry = ScheduledCall(time, callback, args)
+        heapq.heappush(self._queue, (time, next(self._sequence), entry))
+        return entry
+
+    def lane(self, name: str = "") -> SimulatedLane:
+        """A new serialisation lane (CPU / wire direction) on this clock."""
+        return SimulatedLane(self, name=name)
 
     def event(self, name: str = "") -> Future:
         """Create a pending future bound to this simulator."""
@@ -224,14 +320,16 @@ class Simulator:
         simulated time.
         """
         while self._queue:
-            time, _, callback, args = self._queue[0]
+            time, _, entry = self._queue[0]
             if until is not None and time > until:
                 self._now = max(self._now, until)
                 return self._now
             heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
             self._now = time
             self.executed_events += 1
-            callback(*args)
+            entry.callback(*entry.args)
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -239,19 +337,46 @@ class Simulator:
     def run_until(self, future: Future, limit: float = 1e9) -> Any:
         """Run until *future* completes (or *limit* simulated seconds elapse).
 
-        Returns the future's result; raises if the future failed or never
-        completed within the limit.
+        Returns the future's result; raises if the future failed.  A run that
+        cannot complete the future raises :class:`StuckFutureError` describing
+        the wedge — the stuck future's name, how many done-callbacks were
+        still waiting on it, and the event-queue depth — distinguishing an
+        early queue drain (nothing left that could ever complete it) from a
+        blown time *limit*.
         """
         while self._queue and not future.done:
-            time, _, callback, args = heapq.heappop(self._queue)
+            time, _, entry = self._queue[0]
             if time > limit:
-                raise SimulationError(f"future did not complete before t={limit}")
+                raise self._stuck(future, reason="limit-exceeded", limit=limit)
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
             self._now = time
             self.executed_events += 1
-            callback(*args)
+            entry.callback(*entry.args)
         if not future.done:
-            raise SimulationError("event queue drained before the future completed")
+            raise self._stuck(future, reason="queue-drained")
         return future.result
+
+    def _stuck(self, future: Future, *, reason: str, limit: Optional[float] = None) -> StuckFutureError:
+        """Build the diagnostic error for a future ``run_until`` cannot finish."""
+        name = future.name or f"0x{id(future):x}"
+        waiters = len(future._callbacks)
+        depth = self.pending_events
+        if reason == "limit-exceeded":
+            detail = f"next event is past the limit t={limit}"
+        else:
+            detail = "the event queue drained"
+        return StuckFutureError(
+            f"future {name!r} stuck at t={self._now:.6f}: {detail} "
+            f"(pending waiters={waiters}, queue depth={depth})",
+            future_name=name,
+            reason=reason,
+            waiters=waiters,
+            queue_depth=depth,
+            at=self._now,
+            limit=limit,
+        )
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,22 @@
+"""Runtime package: the scheduling interface and its two implementations.
+
+* :class:`Runtime` — the abstract contract (see :mod:`repro.runtime.interface`).
+* :class:`~repro.net.simulator.Simulator` — deterministic discrete-event
+  kernel (lives in :mod:`repro.net`; registered as a virtual subclass).
+* :class:`RealtimeRuntime` — wall-clock asyncio implementation.
+* :class:`RuntimeConfig` / :func:`create_runtime` — the selection knob.
+"""
+
+from .config import RUNTIME_MODES, RuntimeConfig, create_runtime
+from .interface import Runtime
+from .realtime import RealtimeFuture, RealtimeLane, RealtimeRuntime
+
+__all__ = [
+    "RUNTIME_MODES",
+    "RealtimeFuture",
+    "RealtimeLane",
+    "RealtimeRuntime",
+    "Runtime",
+    "RuntimeConfig",
+    "create_runtime",
+]

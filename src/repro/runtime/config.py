@@ -1,0 +1,79 @@
+"""Runtime selection: one knob choosing deterministic simulation or wall clock.
+
+Everything that builds a controller stack takes a scheduler object; this
+module decides which implementation that object is.  The default is — and
+must remain — the deterministic :class:`~repro.net.simulator.Simulator`:
+golden traces, the chaos matrix, and every regression fingerprint depend on
+its bit-for-bit reproducibility.  The :class:`RealtimeRuntime` is opt-in,
+for benchmarks and soak tests that need real ops/sec.
+
+    runtime = RuntimeConfig(mode="realtime", time_scale=0.5).create()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ValidationError
+
+#: Valid values for :attr:`RuntimeConfig.mode`.
+RUNTIME_MODES = ("simulated", "realtime")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Declarative choice of runtime implementation.
+
+    ``mode``
+        ``"simulated"`` (default; deterministic discrete-event kernel) or
+        ``"realtime"`` (asyncio on the monotonic wall clock).
+    ``time_scale``
+        Realtime only: wall seconds per runtime second.  ``0.5`` runs
+        scenarios at double speed (half the wall time), ``2.0`` at half
+        speed; ignored in simulated mode, where time is free.
+    ``min_sleep``
+        Realtime only: CPU costs below this (in runtime seconds) accumulate
+        as debt and are slept in one chunk — the OS timer cannot honour a
+        40 µs sleep, so sub-granularity costs are coalesced.
+    ``poll_interval``
+        Realtime only: idle-probe period for quiescence detection in
+        ``run()`` / ``run_until()``.
+    """
+
+    mode: str = "simulated"
+    time_scale: float = 1.0
+    min_sleep: float = 1e-3
+    poll_interval: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.mode not in RUNTIME_MODES:
+            raise ValidationError(
+                f"unknown runtime mode {self.mode!r}; expected one of {RUNTIME_MODES}"
+            )
+        if self.time_scale <= 0:
+            raise ValidationError(f"time_scale must be > 0, got {self.time_scale}")
+        if self.min_sleep < 0 or self.poll_interval <= 0:
+            raise ValidationError("min_sleep must be >= 0 and poll_interval > 0")
+
+    def create(self):
+        """Instantiate the configured runtime."""
+        if self.mode == "simulated":
+            from ..net.simulator import Simulator
+
+            return Simulator()
+        from .realtime import RealtimeRuntime
+
+        return RealtimeRuntime(
+            time_scale=self.time_scale,
+            min_sleep=self.min_sleep,
+            poll_interval=self.poll_interval,
+        )
+
+
+def create_runtime(config: Optional[RuntimeConfig] = None):
+    """Instantiate a runtime from *config* (default: deterministic simulator)."""
+    return (config or RuntimeConfig()).create()
+
+
+__all__ = ["RUNTIME_MODES", "RuntimeConfig", "create_runtime"]

@@ -1,4 +1,4 @@
-"""Testing harnesses: deterministic chaos injection for the control plane."""
+"""Testing harnesses: deterministic chaos injection + differential runtime equivalence."""
 
 from .chaos import (
     FAULT_PROFILES,
@@ -11,6 +11,7 @@ from .chaos import (
     run_chaos,
     run_federated_chaos,
 )
+from .equivalence import EquivalenceReport, compare_results, run_equivalence
 
 __all__ = [
     "FAULT_PROFILES",
@@ -19,7 +20,10 @@ __all__ = [
     "ChaosMiddlebox",
     "ChaosResult",
     "ChaosSpec",
+    "EquivalenceReport",
     "InvariantViolation",
+    "compare_results",
     "run_chaos",
+    "run_equivalence",
     "run_federated_chaos",
 ]

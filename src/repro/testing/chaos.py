@@ -182,6 +182,10 @@ class ChaosResult:
     federation_converged: bool = False
     #: Federated scenarios only: gossip rounds the survivors ran in total.
     gossip_rounds: int = 0
+    #: Final per-middlebox state maps: instance name -> stringified flow key
+    #: -> the flow's observed seq journal.  The differential equivalence
+    #: harness compares these across runtimes.
+    final_state: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -300,10 +304,20 @@ class _TrafficDriver:
         return self._index >= self.spec.packets
 
 
-def run_chaos(spec: ChaosSpec) -> ChaosResult:
-    """Run one chaos scenario to quiescence and evaluate the four invariants."""
+def run_chaos(spec: ChaosSpec, *, runtime=None) -> ChaosResult:
+    """Run one chaos scenario to quiescence and evaluate the four invariants.
+
+    Args:
+        spec: the scenario.
+        runtime: scheduler to run on — any :class:`~repro.runtime.Runtime`
+            implementation.  ``None`` (the default) builds a fresh
+            deterministic :class:`Simulator`, preserving the chaos matrix's
+            bit-for-bit reproducibility.  Passing a
+            :class:`~repro.runtime.RealtimeRuntime` runs the same scenario on
+            the wall clock (the caller owns its lifecycle, i.e. ``close()``).
+    """
     master = random.Random(spec.seed)
-    sim = Simulator()
+    sim = runtime if runtime is not None else Simulator()
     liveness = spec.kill is not None and spec.detect == "liveness"
     config = ControllerConfig(
         quiescence_timeout=spec.quiescence,
@@ -414,6 +428,7 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
     result.settled_at = sim.now
     result.executed_events = sim.executed_events
     result.delivered = driver.delivered
+    _capture_final_state(result, mbs)
     handle = state["handle"]
 
     # -- invariant 1: termination ----------------------------------------------------
@@ -469,6 +484,14 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         if killed != SRC:
             _check_source_retention(result, sent, mbs[SRC].flow_seqs())
     return result
+
+
+def _capture_final_state(result: ChaosResult, mbs: Dict[str, ChaosMiddlebox]) -> None:
+    """Record every instance's seq journals (the equivalence-comparison material)."""
+    result.final_state = {
+        name: {str(key): list(seqs) for key, seqs in sorted(middlebox.flow_seqs().items(), key=lambda kv: str(kv[0]))}
+        for name, middlebox in mbs.items()
+    }
 
 
 def _check_conservation(result: ChaosResult, mbs: Dict[str, ChaosMiddlebox], tag_suspects) -> None:
@@ -596,6 +619,7 @@ def run_federated_chaos(spec: ChaosSpec) -> ChaosResult:
     result.executed_events = sim.executed_events
     result.delivered = driver.delivered
     result.gossip_rounds = sum(domain.gossip_rounds for domain in federation.live_domains())
+    _capture_final_state(result, mbs)
     handle = state["handle"]
 
     # -- invariant 1: termination (workload move + takeover + convergence) -----------

@@ -26,6 +26,15 @@ GLOBAL_RANDOM = re.compile(r"(?<![.\w])random\.(?!Random\b)\w+\s*\(")
 #: Generator (seeded object construction).
 GLOBAL_NP_RANDOM = re.compile(r"np\.random\.(?!default_rng\b|Generator\b)\w+\s*\(")
 
+#: Wall-clock reads and asyncio sleeps: only the realtime runtime package may
+#: touch the wall clock or the event loop; everywhere else must schedule
+#: through the shared runtime interface to keep simulated runs deterministic.
+WALL_CLOCK = re.compile(r"(?<![.\w])time\.(time|monotonic|perf_counter)\s*\(")
+ASYNC_SLEEP = re.compile(r"(?<![.\w])asyncio\.sleep\s*\(")
+
+#: The one package allowed to read the wall clock / drive asyncio.
+RUNTIME_PACKAGE = pathlib.PurePath("repro", "runtime")
+
 
 def _source_lines():
     for path in sorted(SRC_ROOT.rglob("*.py")):
@@ -56,6 +65,28 @@ class TestNoAmbientRandomness:
         assert not offenders, (
             "global np.random state breaks seeded reproducibility; "
             "use np.random.default_rng(seed):\n" + "\n".join(offenders)
+        )
+
+    def test_no_wall_clock_reads_outside_the_runtime_package(self):
+        offenders = [
+            f"{path}:{number}: {line.strip()}"
+            for path, number, line in _source_lines()
+            if WALL_CLOCK.search(line) and RUNTIME_PACKAGE not in path.parents
+        ]
+        assert not offenders, (
+            "wall-clock reads outside src/repro/runtime/ break simulated-mode "
+            "determinism; use the runtime's `now` instead:\n" + "\n".join(offenders)
+        )
+
+    def test_no_asyncio_sleep_outside_the_runtime_package(self):
+        offenders = [
+            f"{path}:{number}: {line.strip()}"
+            for path, number, line in _source_lines()
+            if ASYNC_SLEEP.search(line) and RUNTIME_PACKAGE not in path.parents
+        ]
+        assert not offenders, (
+            "asyncio.sleep outside src/repro/runtime/ bypasses the shared "
+            "scheduling interface; use runtime.schedule/timeout instead:\n" + "\n".join(offenders)
         )
 
 

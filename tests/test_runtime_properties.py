@@ -1,0 +1,253 @@
+"""Property tests for the runtime scheduling contract, on both implementations.
+
+Seeded-random interleavings of ``schedule`` / ``cancel`` / ``process`` assert
+the three properties every component implicitly relies on:
+
+1. **same-time FIFO tie-breaking** — callbacks scheduled for the same time run
+   in scheduling order;
+2. **no callback after cancellation** — a cancelled handle's callback never
+   fires, no matter when the cancel raced the schedule;
+3. **Future single-completion** — a future completes exactly once; the second
+   completion raises and does not overwrite the first.
+
+Every test runs against the deterministic :class:`Simulator` and the
+wall-clock :class:`RealtimeRuntime` through the same interface.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.net.simulator import Simulator
+from repro.runtime import RealtimeRuntime, Runtime, RuntimeConfig
+
+#: Far enough ahead that all scheduling/cancelling happens before anything
+#: fires, even on the wall clock; short enough to keep the suite fast.
+HORIZON = 0.05
+
+
+@pytest.fixture(params=["simulated", "realtime"])
+def runtime(request):
+    rt = RuntimeConfig(mode=request.param).create()
+    yield rt
+    if isinstance(rt, RealtimeRuntime):
+        rt.close()
+
+
+def drain(rt, extra: float = 0.02) -> None:
+    """Drive *rt* safely past HORIZON so every armed callback has fired."""
+    rt.run(until=rt.now + HORIZON + extra)
+
+
+class TestInterface:
+    def test_both_implementations_satisfy_the_runtime_abc(self, runtime):
+        assert isinstance(runtime, Runtime)
+
+    def test_clock_is_monotonic(self, runtime):
+        before = runtime.now
+        runtime.run(until=runtime.now + 0.01)
+        assert runtime.now >= before
+
+
+class TestFifoTieBreaking:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_time_callbacks_run_in_scheduling_order(self, runtime, seed):
+        rng = random.Random(seed)
+        base = runtime.now + HORIZON
+        buckets = [base, base + 0.01, base + 0.02]
+        executed = []
+        scheduled = []
+        for index in range(30):
+            bucket = rng.randrange(len(buckets))
+            scheduled.append((bucket, index))
+            runtime.schedule_at(buckets[bucket], executed.append, (bucket, index))
+        drain(runtime)
+        assert len(executed) == len(scheduled)
+        # Across buckets: time order.  Within a bucket: scheduling order.
+        assert executed == sorted(scheduled, key=lambda entry: (entry[0], scheduled.index(entry)))
+        for bucket in range(len(buckets)):
+            in_bucket = [index for b, index in executed if b == bucket]
+            assert in_bucket == sorted(in_bucket)
+
+    def test_zero_delay_schedules_preserve_order(self, runtime):
+        executed = []
+        base = runtime.now + HORIZON
+        for index in range(10):
+            runtime.schedule_at(base, executed.append, index)
+        drain(runtime)
+        assert executed == list(range(10))
+
+
+class TestCancellation:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_cancelled_callbacks_never_run(self, runtime, seed):
+        rng = random.Random(seed)
+        base = runtime.now + HORIZON
+        executed = []
+        handles = {}
+        for index in range(40):
+            handles[index] = runtime.schedule_at(base + rng.random() * 0.02, executed.append, index)
+        cancelled = set(rng.sample(sorted(handles), 15))
+        for index in cancelled:
+            handles[index].cancel()
+        drain(runtime)
+        assert set(executed) == set(handles) - cancelled
+
+    def test_cancel_from_within_a_callback(self, runtime):
+        # A callback cancelling a later-scheduled peer: the peer must not run.
+        base = runtime.now + HORIZON
+        executed = []
+        victim = runtime.schedule_at(base + 0.02, executed.append, "victim")
+        runtime.schedule_at(base, lambda: victim.cancel())
+        runtime.schedule_at(base + 0.02, executed.append, "survivor")
+        drain(runtime)
+        assert executed == ["survivor"]
+
+    def test_double_cancel_is_idempotent(self, runtime):
+        handle = runtime.schedule(HORIZON, lambda: pytest.fail("cancelled callback ran"))
+        handle.cancel()
+        handle.cancel()
+        drain(runtime)
+
+
+class TestFutureSingleCompletion:
+    def test_second_succeed_raises_and_does_not_overwrite(self, runtime):
+        future = runtime.event("once")
+        future.succeed("first")
+        with pytest.raises(SimulationError):
+            future.succeed("second")
+        assert future.result == "first"
+
+    def test_fail_after_succeed_raises(self, runtime):
+        future = runtime.event("once")
+        future.succeed(1)
+        with pytest.raises(SimulationError):
+            future.fail(RuntimeError("late"))
+        assert future.exception is None
+
+    def test_done_callbacks_fire_exactly_once(self, runtime):
+        future = runtime.event("cb")
+        fired = []
+        future.add_done_callback(lambda f: fired.append(f.result))
+        future.succeed(42)
+        with pytest.raises(SimulationError):
+            future.succeed(43)
+        assert fired == [42]
+
+    def test_callback_added_after_completion_runs_immediately(self, runtime):
+        future = runtime.event("late-cb")
+        future.succeed("done")
+        fired = []
+        future.add_done_callback(lambda f: fired.append(f.result))
+        assert fired == ["done"]
+
+
+class TestProcesses:
+    def test_process_yields_delays_and_futures(self, runtime):
+        gate = runtime.event("gate")
+        runtime.schedule(0.01, gate.succeed, 5)
+
+        def worker():
+            yield 0.005
+            value = yield gate
+            return value * 2
+
+        future = runtime.process(worker())
+        assert runtime.run_until(future, limit=runtime.now + 5.0) == 10
+
+    def test_process_failure_propagates_once(self, runtime):
+        def bomb():
+            yield 0.001
+            raise RuntimeError("boom")
+
+        future = runtime.process(bomb())
+        with pytest.raises(RuntimeError, match="boom"):
+            runtime.run_until(future, limit=runtime.now + 5.0)
+        assert future.done and future.exception is not None
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_random_process_interleavings_settle_deterministically(self, runtime, seed):
+        rng = random.Random(seed)
+        results = []
+
+        def worker(ident, delays):
+            total = 0.0
+            for delay in delays:
+                yield delay
+                total += delay
+            results.append(ident)
+            return total
+
+        futures = [
+            runtime.process(worker(ident, [rng.random() * 0.004 for _ in range(3)]))
+            for ident in range(6)
+        ]
+        for future in futures:
+            runtime.run_until(future, limit=runtime.now + 5.0)
+        assert sorted(results) == list(range(6))
+        for future in futures:
+            assert future.done and future.exception is None
+
+
+class TestThreadSafeCompletion:
+    """Realtime-only: futures completed off-thread must marshal safely."""
+
+    def test_off_thread_succeed_completes_the_future(self):
+        rt = RuntimeConfig(mode="realtime").create()
+        try:
+            future = rt.event("cross-thread")
+            fired = []
+            future.add_done_callback(lambda f: fired.append(f.result))
+            thread = threading.Thread(target=lambda: future.succeed("from-thread"))
+            thread.start()
+            assert rt.run_until(future, limit=rt.now + 5.0) == "from-thread"
+            thread.join()
+            rt.run(until=rt.now + 0.01)  # let the marshalled callback land
+            assert fired == ["from-thread"]
+        finally:
+            rt.close()
+
+    def test_racing_completions_complete_exactly_once(self):
+        rt = RuntimeConfig(mode="realtime").create()
+        try:
+            future = rt.event("race")
+            losers = []
+
+            def complete(value):
+                try:
+                    future.succeed(value)
+                except SimulationError:
+                    losers.append(value)
+
+            threads = [threading.Thread(target=complete, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert future.done
+            assert len(losers) == 3
+            assert future.result not in losers
+        finally:
+            rt.close()
+
+
+class TestSimulatorDeterminismUnderTheSharedInterface:
+    """The simulated path stays bit-for-bit: same program, same fingerprint."""
+
+    def test_identical_runs_produce_identical_event_counts(self):
+        def program(sim: Simulator) -> int:
+            lane = sim.lane("cpu")
+            order = []
+            for index in range(20):
+                lane.submit(1e-4, lambda i=index: order.append(i))
+            handle = sim.schedule(0.5, order.append, "tail")
+            handle.cancel()
+            sim.run()
+            assert order == list(range(20))
+            return sim.executed_events
+
+        assert program(Simulator()) == program(Simulator())

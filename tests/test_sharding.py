@@ -213,7 +213,7 @@ class TestCrossShardMergeBarrier:
         handles = [nb.move_internal(src.name, dst.name, None) for src, dst in boxes]
         barrier = controller.coordinator.barrier()
         drained_at = sim.run_until(barrier, limit=100)
-        busy_until = max(shard._cpu_free_at for shard in controller.coordinator.shards)
+        busy_until = max(shard._cpu._free_at for shard in controller.coordinator.shards)
         assert drained_at >= busy_until - 1e-12
         for handle in handles:
             sim.run_until(handle.completed, limit=100)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import SimulationError
+from repro.core.errors import SimulationError, StuckFutureError
 from repro.net.simulator import Simulator, all_of
 
 
@@ -146,6 +146,103 @@ class TestFuture:
         pending = sim.event()
         with pytest.raises(SimulationError):
             sim.run_until(pending)
+
+
+class TestStuckFutureDiagnostics:
+    """run_until must diagnose *why* a future can never complete."""
+
+    def test_queue_drain_raises_typed_error_with_diagnosis(self):
+        sim = Simulator()
+        stuck = sim.event(name="never-completed")
+        stuck.add_done_callback(lambda f: None)
+        stuck.add_done_callback(lambda f: None)
+        sim.schedule(0.5, lambda: None)  # unrelated work that drains first
+        with pytest.raises(StuckFutureError) as excinfo:
+            sim.run_until(stuck)
+        error = excinfo.value
+        assert error.reason == "queue-drained"
+        assert error.future_name == "never-completed"
+        assert error.waiters == 2
+        assert error.queue_depth == 0
+        assert error.limit is None
+        assert "never-completed" in str(error)
+        assert "waiters=2" in str(error)
+
+    def test_limit_exceeded_raises_typed_error_with_queue_depth(self):
+        sim = Simulator()
+        stuck = sim.event(name="gated")
+        # Periodic work keeps the queue alive well past the limit.
+        def tick():
+            sim.schedule(0.1, tick)
+        sim.schedule(0.1, tick)
+        with pytest.raises(StuckFutureError) as excinfo:
+            sim.run_until(stuck, limit=1.0)
+        error = excinfo.value
+        assert error.reason == "limit-exceeded"
+        assert error.limit == 1.0
+        assert error.queue_depth >= 1
+        assert error.at <= 1.0
+        assert sim.pending_events >= 1  # the limit check consumed nothing
+
+    def test_stuck_error_is_a_simulation_error(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(sim.event())
+
+    def test_limit_check_does_not_consume_the_boundary_event(self):
+        # The over-limit event must still be pending after the raise, so a
+        # caller that extends the limit and retries sees it execute.
+        sim = Simulator()
+        gate = sim.event(name="late")
+        sim.schedule(2.0, gate.succeed, "finally")
+        with pytest.raises(StuckFutureError):
+            sim.run_until(gate, limit=1.0)
+        assert sim.run_until(gate, limit=3.0) == "finally"
+
+
+class TestCancellableHandles:
+    def test_cancelled_callback_never_runs(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.5, fired.append, "no")
+        sim.schedule(1.0, fired.append, "yes")
+        handle.cancel()
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_cancelled_events_are_not_counted_as_executed(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None).cancel()
+        sim.run()
+        assert sim.executed_events == 1
+
+
+class TestSimulatedLane:
+    def test_lane_serialises_submitted_work(self):
+        sim = Simulator()
+        lane = sim.lane("cpu")
+        finishes = []
+        lane.submit(0.2, lambda: finishes.append(sim.now))
+        lane.submit(0.3, lambda: finishes.append(sim.now))
+        sim.run()
+        assert finishes == [pytest.approx(0.2), pytest.approx(0.5)]
+
+    def test_reserve_tracks_occupancy(self):
+        sim = Simulator()
+        lane = sim.lane("wire")
+        assert lane.reserve(0.1) == pytest.approx(0.1)
+        assert lane.reserve(0.1) == pytest.approx(0.2)
+        assert lane.idle_at == pytest.approx(0.2)
+
+    def test_dispatch_at_delivers_in_order(self):
+        sim = Simulator()
+        lane = sim.lane("wire")
+        order = []
+        lane.dispatch_at(0.2, order.append, "b")
+        lane.dispatch_at(0.1, order.append, "a")
+        sim.run()
+        assert order == ["a", "b"]
 
 
 class TestProcesses:
