@@ -28,12 +28,14 @@ from repro.core import TransferSpec
 
 try:
     from benchmarks.conftest import controller_with_dummies
+    from benchmarks._results import write_results
 except ModuleNotFoundError:  # direct execution: python benchmarks/bench_fig10a_move_time.py
     import sys
     from pathlib import Path
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
     from benchmarks.conftest import controller_with_dummies
+    from benchmarks._results import write_results
 
 #: Per-pair chunk counts (each dummy holds this many supporting + reporting chunks,
 #: so a move transfers twice this number of chunks).
@@ -198,6 +200,131 @@ def test_fig10a_precopy_freeze_window(once):
     assert results[("precopy", top)]["chunks"] >= results[("snapshot", top)]["chunks"]
 
 
+# =========================================================================================
+# Flow-scale axis: freeze window and accounted memory from 10k to a million flows
+# =========================================================================================
+
+#: Flow counts of the scale series (the CI ``scale`` job runs all three; the
+#: committed ``BENCH_fig10a_flowscale.json`` is regenerated with ``--flows``).
+FLOW_SCALE_COUNTS = (10_000, 100_000, 1_000_000)
+
+#: Hot-set load during the scale series: a fixed flow pool so the dirty set —
+#: and therefore the pre-copy freeze window — does not grow with store size.
+SCALE_HOT_FLOWS = 64
+SCALE_TRAFFIC_RATE = 16_000.0
+SCALE_TRAFFIC_DURATION = 0.04
+
+
+def run_move_at_scale(flow_count: int) -> dict:
+    """One loss-free pre-copy move of *flow_count* small supporting entries.
+
+    Unlike :func:`run_single_move` the source is populated directly with
+    minimal payloads (no 202-byte filler, supporting role only), so the series
+    measures the state engine — sharded dirty tracking, streamed export,
+    byte-accounted stores — rather than payload serialisation volume.
+    """
+    sim, controller, northbound, pairs = controller_with_dummies(
+        [0], quiescence=0.05, per_message_cost=1e-6
+    )
+    src, dst = pairs[0]
+    for index in range(flow_count):
+        src.support_store.put(src.flow_key_for(index), {"index": index, "packets": 0})
+    pre = src.support_store.memory_stats()
+    injected = src.drive_traffic_at_rate(
+        SCALE_TRAFFIC_RATE, SCALE_TRAFFIC_DURATION, flows=SCALE_HOT_FLOWS
+    )
+    handle = northbound.move_internal(
+        src.name, dst.name, None, spec=TransferSpec.precopy(batch_size=512)
+    )
+    record = sim.run_until(handle.finalized, limit=10_000)
+    sim.run(until=sim.now + 0.5)
+    counted = sum(rec.get("packets", 0) for _, rec in src.support_store.items())
+    counted += sum(rec.get("packets", 0) for _, rec in dst.support_store.items())
+    src_peak = src.support_store.memory_stats().peak_total_bytes
+    dst_stats = dst.support_store.memory_stats()
+    return {
+        "flows": flow_count,
+        "duration_ms": round(record.duration * 1000, 3),
+        "freeze_ms": round(record.freeze_window * 1000, 4),
+        "chunks": record.chunks_transferred,
+        "rounds": record.precopy_rounds,
+        "resident_bytes": pre.total_bytes,
+        "peak_bytes": src_peak,
+        "peak_over_resident": round(src_peak / pre.total_bytes, 3),
+        "dst_peak_over_resident": round(
+            dst_stats.peak_total_bytes / max(1, dst_stats.total_bytes), 3
+        ),
+        "updates_lost": injected - counted,
+    }
+
+
+def flowscale_series(counts=FLOW_SCALE_COUNTS, *, persist: bool = True) -> dict:
+    """Run the flow-scale series and persist ``BENCH_fig10a_flowscale.json``."""
+    series = [run_move_at_scale(count) for count in counts]
+    base = series[0]
+    payload = {
+        "figure": "10a-flowscale",
+        "workload": {
+            "mode": "precopy",
+            "guarantee": "loss_free",
+            "hot_flows": SCALE_HOT_FLOWS,
+            "traffic_rate_pps": SCALE_TRAFFIC_RATE,
+        },
+        "series": series,
+        "freeze_flatness": {
+            "baseline_flows": base["flows"],
+            "max_ratio": round(
+                max(point["freeze_ms"] / base["freeze_ms"] for point in series), 4
+            ),
+            "min_ratio": round(
+                min(point["freeze_ms"] / base["freeze_ms"] for point in series), 4
+            ),
+        },
+    }
+    if persist:
+        write_results("fig10a_flowscale", payload)
+    return payload
+
+
+def test_fig10a_flowscale_freeze_window_flat(once):
+    """Freeze stays flat (±20%) and peak accounted memory < 2x resident.
+
+    The default (tier-1) run covers only the 10k point (keeping the fast
+    suite fast); the full series through one million flows — and the refresh
+    of the committed JSON — runs in the CI ``scale`` job with ``RUN_SLOW=1``.
+    """
+    import os
+
+    full = bool(os.environ.get("RUN_SLOW"))
+    counts = FLOW_SCALE_COUNTS if full else FLOW_SCALE_COUNTS[:1]
+    payload = once(flowscale_series, counts, persist=full)
+
+    rows = [
+        (
+            point["flows"],
+            point["freeze_ms"],
+            point["duration_ms"],
+            point["chunks"],
+            point["peak_over_resident"],
+            point["updates_lost"],
+        )
+        for point in payload["series"]
+    ]
+    print_block(
+        format_table(
+            "Figure 10(a) flow-scale axis — pre-copy freeze window vs store size (loss-free)",
+            ["flows", "freeze (ms)", "move (ms)", "chunks", "peak/resident", "lost"],
+            rows,
+        )
+    )
+    base = payload["series"][0]
+    for point in payload["series"]:
+        assert point["updates_lost"] == 0
+        assert 0.8 <= point["freeze_ms"] / base["freeze_ms"] <= 1.2
+        assert point["peak_over_resident"] < 2.0
+        assert point["dst_peak_over_resident"] <= 2.0
+
+
 def main() -> None:
     """CLI entry point: run the freeze-window series for one mode (``--mode``)."""
     import argparse
@@ -205,7 +332,36 @@ def main() -> None:
     parser = argparse.ArgumentParser(description="Move freeze window under load, snapshot vs pre-copy")
     parser.add_argument("--mode", default="precopy", choices=["snapshot", "precopy", "both"])
     parser.add_argument("--chunks", type=int, default=MODE_CHUNKS, help="per-role chunks at the source")
+    parser.add_argument(
+        "--flows",
+        type=str,
+        default=None,
+        help="comma-separated flow counts: run the flow-scale axis instead and "
+        "persist BENCH_fig10a_flowscale.json (e.g. --flows 10000,100000,1000000)",
+    )
     args = parser.parse_args()
+    if args.flows:
+        counts = tuple(int(item) for item in args.flows.split(","))
+        payload = flowscale_series(counts)
+        rows = [
+            (
+                point["flows"],
+                point["freeze_ms"],
+                point["duration_ms"],
+                point["chunks"],
+                point["peak_over_resident"],
+                point["updates_lost"],
+            )
+            for point in payload["series"]
+        ]
+        print_block(
+            format_table(
+                "Flow-scale axis — pre-copy freeze window vs store size (loss-free)",
+                ["flows", "freeze (ms)", "move (ms)", "chunks", "peak/resident", "lost"],
+                rows,
+            )
+        )
+        return
     modes = ["snapshot", "precopy"] if args.mode == "both" else [args.mode]
     rows = []
     for mode in modes:

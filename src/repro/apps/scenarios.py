@@ -434,7 +434,14 @@ def run_guarantee_scenario(
     for index in range(packets_during_move):
         sim.schedule(packet_spacing * index, src.receive, packet_for(index % flows), 1)
         if feed_destination:
-            sim.schedule(packet_spacing * index + packet_spacing / 2, dst.receive, packet_for(index % flows), 1)
+            # Feed every moved flow at quarter-spacing so each flow's
+            # install→release hold window (which opens at a chunk-order- and
+            # store-layout-dependent instant) deterministically sees at least
+            # one destination packet, whatever order the chunks stream in.
+            for quarter in range(4):
+                offset = packet_spacing * index + quarter * packet_spacing / 4
+                for flow in range(flows):
+                    sim.schedule(offset + flow * 1e-6, dst.receive, packet_for(flow), 1)
     sim.run_until(handle.finalized, limit=1000)
     sim.run(until=sim.now + 2 * quiescence_timeout + 0.5)
 

@@ -136,9 +136,18 @@ class ChunkCodec:
         payload: Any,
         role: StateRole,
         metadata: Optional[dict] = None,
+        *,
+        compress: Optional[bool] = None,
     ) -> StateChunk:
-        """Serialise and encrypt one per-flow state object."""
-        blob = crypto.seal(self.key, serialize_payload(payload, compress=self.compress))
+        """Serialise and encrypt one per-flow state object.
+
+        *compress* overrides the codec-wide default for this one chunk —
+        transfers negotiate compression per :class:`TransferSpec`, so a get
+        serving a compressing transfer passes ``True`` here without flipping
+        the codec every other caller shares.
+        """
+        use_compress = self.compress if compress is None else compress
+        blob = crypto.seal(self.key, serialize_payload(payload, compress=use_compress))
         return StateChunk(key=flow_key, role=role, blob=blob, metadata=dict(metadata or {}))
 
     def unseal_perflow(self, chunk: StateChunk) -> Any:
@@ -151,9 +160,21 @@ class ChunkCodec:
 
     # -- shared chunks ---------------------------------------------------------
 
-    def seal_shared(self, payload: Any, role: StateRole, metadata: Optional[dict] = None) -> SharedChunk:
-        """Serialise and encrypt one shared state object."""
-        blob = crypto.seal(self.key, serialize_payload(payload, compress=self.compress))
+    def seal_shared(
+        self,
+        payload: Any,
+        role: StateRole,
+        metadata: Optional[dict] = None,
+        *,
+        compress: Optional[bool] = None,
+    ) -> SharedChunk:
+        """Serialise and encrypt one shared state object.
+
+        *compress* overrides the codec-wide default for this one chunk, as in
+        :meth:`seal_perflow`.
+        """
+        use_compress = self.compress if compress is None else compress
+        blob = crypto.seal(self.key, serialize_payload(payload, compress=use_compress))
         return SharedChunk(role=role, blob=blob, metadata=dict(metadata or {}))
 
     def unseal_shared(self, chunk: SharedChunk) -> Any:

@@ -138,6 +138,12 @@ class MBController:
         #: usually exactly once, but a replay is *re-issued* when a later state
         #: chunk overwrote the flow's state at the destination.
         self._forwarded_events: Dict[Tuple[int, str], int] = {}
+        #: Replays sent but not yet ACKed, keyed like ``_forwarded_events``.
+        #: While a replay is in flight, re-issue decisions are deferred: an
+        #: install whose ACK we have already processed was applied *before*
+        #: the in-flight replay (the destination ACKs on one FIFO channel),
+        #: so the replay's update supersedes it and must not be doubled.
+        self._replays_in_flight: Set[Tuple[int, str]] = set()
         #: (destination, canonical flow key) -> sequence token of the last
         #: ACKed per-flow state install at that destination.
         self._installed_state: Dict[Tuple[str, FlowKey], int] = {}
@@ -474,13 +480,15 @@ class MBController:
         on_reply: Optional[Callable[[Message], None]] = None,
         *,
         shard: Optional[ControllerShard] = None,
-    ) -> bool:
+    ) -> str:
         """Replay *event*'s packet at *dst_mb*, exactly once per state install.
 
-        Returns True when the re-process message was actually sent.  The
-        common case is one replay per (event, destination): concurrent
-        operations sharing a destination (e.g. a move and a merge with the
-        same source) do not double-replay.  The exception closes the
+        Returns ``"sent"`` when the re-process message was actually sent and
+        ``"covered"`` when the event's update is already ensured at the
+        destination by a previous replay (no message goes out and *on_reply*
+        never fires).  The common case is one replay per (event, destination):
+        concurrent operations sharing a destination (e.g. a move and a merge
+        with the same source) do not double-replay.  The exception closes the
         cross-operation coordination bug: when a per-flow state chunk was
         installed *after* the event's last replay, that chunk overwrote the
         replayed update at the destination, so the replay is issued again —
@@ -499,10 +507,17 @@ class MBController:
             key = event.key.bidirectional() if event.key is not None else None
             installed = self._installed_state.get((dst_mb, key), 0) if key is not None else 0
             if last_replay >= installed:
-                return False  # nothing installed since the last replay: still applied
+                return "covered"  # nothing installed since the last replay: still applied
+            if token in self._replays_in_flight:
+                # The previous replay is still on the wire.  Any install whose
+                # ACK we have seen was applied before it (ACKs share one FIFO
+                # channel), so that chunk did NOT overwrite the replay — the
+                # replay lands after it.  Re-issuing here would double-apply.
+                return "covered"
             shared_override = False  # re-replay only the overwritten per-flow component
         seq = next(self._transfer_seq)
         self._forwarded_events[token] = seq
+        self._replays_in_flight.add(token)
 
         def on_replay_reply(message: Message) -> None:
             # Re-stamp the token when the destination ACKs the replay: ACKs
@@ -511,6 +526,8 @@ class MBController:
             # *applied* replay vs. chunk.  Without this, a replay sent in a
             # put's send→ACK window (but applied after the chunk) would look
             # older than the install and be re-issued — a double apply.
+            if self._forwarded_events.get(token) == seq:
+                self._replays_in_flight.discard(token)
             if message.type == MessageType.ACK and self._forwarded_events.get(token) == seq:
                 self._forwarded_events[token] = next(self._transfer_seq)
             if on_reply is not None:
@@ -522,7 +539,7 @@ class MBController:
             on_reply=on_replay_reply,
             shard=shard,
         )
-        return True
+        return "sent"
 
     # -- simple northbound operations --------------------------------------------------------------------
 

@@ -5,7 +5,7 @@ chunks before exporting them so the controller and control applications see
 only opaque blobs.  This module provides a small, dependency-free
 authenticated encryption scheme built from the standard library:
 
-* keystream: SHA-256 in counter mode keyed by the middlebox's sealing key;
+* keystream: SHAKE-256 keyed by the middlebox's sealing key and the nonce;
 * integrity: HMAC-SHA-256 over nonce plus ciphertext (encrypt-then-MAC).
 
 The construction is deliberately simple — the point of the reproduction is the
@@ -23,7 +23,6 @@ from dataclasses import dataclass
 
 _MAC_LEN = 32
 _NONCE_LEN = 16
-_BLOCK = 32  # SHA-256 digest size
 
 
 class SealError(Exception):
@@ -31,18 +30,27 @@ class SealError(Exception):
 
 
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """Generate *length* keystream bytes from SHA-256(key || nonce || counter)."""
-    blocks = []
-    counter = 0
-    while len(blocks) * _BLOCK < length:
-        counter_bytes = counter.to_bytes(8, "big")
-        blocks.append(hashlib.sha256(key + nonce + counter_bytes).digest())
-        counter += 1
-    return b"".join(blocks)[:length]
+    """Generate *length* keystream bytes from SHAKE-256(key || nonce).
+
+    A single extendable-output call replaces the earlier SHA-256 counter-mode
+    loop: one hash invocation per sealed chunk instead of one per 32 bytes,
+    which matters when a million-flow transfer seals a million chunks.
+    """
+    return hashlib.shake_256(key + nonce).digest(length)
 
 
 def _xor(data: bytes, keystream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, keystream))
+    """XOR *data* with *keystream* (equal lengths) in one big-int operation.
+
+    ``int.from_bytes``/``to_bytes`` run in C, so this is orders of magnitude
+    faster than a per-byte Python loop on the multi-hundred-byte payloads a
+    state chunk carries.
+    """
+    if not data:
+        return b""
+    return (int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")).to_bytes(
+        len(data), "big"
+    )
 
 
 @dataclass(frozen=True)

@@ -91,13 +91,18 @@ class IPv4Prefix:
         return f"{int_to_ip(self.network)}/{self.length}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class FlowKey:
     """A concrete transport flow: protocol plus source/destination IP and port.
 
     ``FlowKey`` is directional.  :meth:`reversed` gives the opposite direction
     and :meth:`bidirectional` gives a canonical key shared by both directions,
     which is what connection-oriented middleboxes index their state by.
+
+    Declared with ``slots=True``: at a million resident flows the store keeps
+    a ``FlowKey`` per entry (plus copies in dirty sets, indexes, and transfer
+    bookkeeping), and dropping the per-instance ``__dict__`` roughly halves
+    the key's footprint.
     """
 
     nw_proto: int

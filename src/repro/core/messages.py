@@ -240,24 +240,40 @@ def del_config(mb: str, key: str) -> Message:
 
 
 def get_perflow(
-    mb: str, role: StateRole, pattern: FlowPattern, *, transfer: bool = False, track_dirty: bool = False
+    mb: str,
+    role: StateRole,
+    pattern: FlowPattern,
+    *,
+    transfer: bool = False,
+    track_dirty: bool = False,
+    compress: bool = False,
 ) -> Message:
     """Request per-flow state; ``transfer=True`` marks exported chunks for re-process events.
 
     ``track_dirty=True`` is the pre-copy bulk round: instead of marking the
     flows (freezing them behind event buffering), the source arms dirty-key
     tracking at the snapshot instant and keeps processing packets normally.
-    The field is omitted from the wire when False so snapshot transfers stay
-    byte-identical to the seed protocol.
+    ``compress=True`` asks the source to seal each exported chunk with its
+    payload zlib-compressed (the :class:`~repro.core.transfer.TransferSpec`
+    negotiation).  Both fields are omitted from the wire when False so
+    plain snapshot transfers stay byte-identical to the seed protocol.
     """
     body: Dict[str, Any] = {"role": role.value, "pattern": encode_pattern(pattern), "transfer": transfer}
     if track_dirty:
         body["track_dirty"] = True
+    if compress:
+        body["compress"] = True
     return Message(MessageType.GET_PERFLOW, mb=mb, body=body)
 
 
 def get_perflow_delta(
-    mb: str, role: StateRole, pattern: FlowPattern, *, round: Sequence[int], final: bool = False
+    mb: str,
+    role: StateRole,
+    pattern: FlowPattern,
+    *,
+    round: Sequence[int],
+    final: bool = False,
+    compress: bool = False,
 ) -> Message:
     """Request the chunks dirtied since the last drain (one pre-copy round).
 
@@ -271,7 +287,8 @@ def get_perflow_delta(
     on surface as events.  The reply is a chunk stream followed by
     GET_COMPLETE carrying the count of pattern-matching flows re-dirtied while
     the round was being exported (the controller's signal for whether another
-    round is worthwhile).
+    round is worthwhile).  ``compress=True`` asks the source to seal the
+    round's chunks zlib-compressed, as in :func:`get_perflow`.
     """
     body: Dict[str, Any] = {
         "role": role.value,
@@ -280,6 +297,8 @@ def get_perflow_delta(
     }
     if final:
         body["final"] = True
+    if compress:
+        body["compress"] = True
     return Message(MessageType.GET_PERFLOW_DELTA, mb=mb, body=body)
 
 
@@ -316,6 +335,7 @@ def put_perflow_batch(
     hold: bool = False,
     seq: Optional[int] = None,
     round: Optional[Sequence[int]] = None,
+    compressed: bool = False,
 ) -> Message:
     """Install several per-flow chunks with a single message and a single ACK.
 
@@ -325,6 +345,10 @@ def put_perflow_batch(
     controller's transfer sequence token (wire-level observability; the
     controller's ACK-time bookkeeping is authoritative for ordering); ``round``
     is the pre-copy round tag applied to every chunk in the batch.
+    ``compressed`` marks the batch as carrying zlib-compressed chunk payloads
+    (observability only — each payload's marker byte is self-describing);
+    omitted from the wire when False so uncompressed transfers stay
+    byte-identical to the seed framing.
     """
     body: Dict[str, Any] = {"chunks": [encode_chunk(chunk) for chunk in chunks]}
     if hold:
@@ -333,6 +357,8 @@ def put_perflow_batch(
         body["seq"] = seq
     if round is not None:
         body["round"] = list(round)
+    if compressed:
+        body["compressed"] = True
     return Message(MessageType.PUT_PERFLOW_BATCH, mb=mb, body=body)
 
 

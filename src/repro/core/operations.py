@@ -444,12 +444,20 @@ class _StatefulOperation:
         self.controller._operation_finished(self)
 
     def _forward(self, event: Event, on_reply=None) -> bool:
-        """Replay *event* at the destination; True when actually sent."""
-        if self.controller.forward_event(self.dst, event, on_reply=on_reply, shard=self.home_shard):
+        """Ensure *event* is replayed at the destination; True when a message went out.
+
+        ``events_forwarded`` counts events whose replay at the destination
+        this operation ensured — including ones a concurrent operation's
+        replay already covers (``"covered"``), where no duplicate message is
+        sent and *on_reply* will never fire.
+        """
+        disposition = self.controller.forward_event(
+            self.dst, event, on_reply=on_reply, shard=self.home_shard
+        )
+        if disposition in ("sent", "covered"):
             self.record.events_forwarded += 1
             self._forward_tokens.add((event.event_id, self.dst))
-            return True
-        return False
+        return disposition == "sent"
 
     def _touch_event_clock(self) -> None:
         """Note event activity; postpones the quiescence-triggered finalize."""
@@ -603,7 +611,14 @@ class ChunkPipeline:
                     for _ in range(min(self.spec.batch_size, len(self._queue)))
                 ]
                 seq = self.op.controller.next_transfer_seq()
-                message = messages.put_perflow_batch(self.op.dst, batch, hold=hold, seq=seq, round=round_tag)
+                message = messages.put_perflow_batch(
+                    self.op.dst,
+                    batch,
+                    hold=hold,
+                    seq=seq,
+                    round=round_tag,
+                    compressed=self.spec.compress,
+                )
                 keys = tuple(chunk.key.bidirectional() for chunk in batch)
                 self.op.record.batches_sent += 1
             else:
@@ -981,7 +996,9 @@ class MoveOperation(_StatefulOperation):
             self._gets_outstanding += 1
             self.controller.send(
                 self.src,
-                messages.get_perflow(self.src, role, self.pattern, transfer=True),
+                messages.get_perflow(
+                    self.src, role, self.pattern, transfer=True, compress=self.spec.compress
+                ),
                 on_reply=self._on_src_reply,
                 shard=self.home_shard,
             )
@@ -998,7 +1015,12 @@ class MoveOperation(_StatefulOperation):
             self._gets_outstanding += 1
             if self._round == 0:
                 message = messages.get_perflow(
-                    self.src, role, self.pattern, transfer=False, track_dirty=True
+                    self.src,
+                    role,
+                    self.pattern,
+                    transfer=False,
+                    track_dirty=True,
+                    compress=self.spec.compress,
                 )
             else:
                 message = messages.get_perflow_delta(
@@ -1007,6 +1029,7 @@ class MoveOperation(_StatefulOperation):
                     self.pattern,
                     round=(self.record.op_id, self._round),
                     final=self._in_final_phase,
+                    compress=self.spec.compress,
                 )
             self.controller.send(self.src, message, on_reply=self._on_src_reply, shard=self.home_shard)
 

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from itertools import islice
+from typing import Callable, Iterator, List, Optional
 
 from ..net.packet import Packet
 from ..net.simulator import Simulator
@@ -100,6 +101,7 @@ class MiddleboxInterface(abc.ABC):
         *,
         mark_transfer: bool = False,
         track_dirty: bool = False,
+        compress: Optional[bool] = None,
     ) -> List[StateChunk]:
         """Export sealed per-flow chunks of the given role matching *pattern*.
 
@@ -107,11 +109,46 @@ class MiddleboxInterface(abc.ABC):
         packets touching them raise re-process events.  With ``track_dirty``
         the store instead arms dirty-key tracking at the snapshot instant (the
         pre-copy bulk round): the flows stay un-frozen and later mutations are
-        recorded for the delta rounds.
+        recorded for the delta rounds.  ``compress`` overrides the
+        implementation's payload-compression default for this export.
         """
 
+    def iter_perflow(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        track_dirty: bool = False,
+        compress: Optional[bool] = None,
+    ) -> Iterator[StateChunk]:
+        """Stream sealed per-flow chunks instead of materialising the list.
+
+        The southbound agent pumps this iterator in bounded batches so a
+        million-flow export never resides in memory at once.  The default
+        delegates to :meth:`get_perflow`, so implementations that only provide
+        the list form remain correct (they just pay the full materialisation).
+        Implementations whose setup side effects must happen at the *call*
+        (arming dirty tracking, marking flows) should override this with an
+        eager-setup generator.
+        """
+        return iter(
+            self.get_perflow(
+                role,
+                pattern,
+                mark_transfer=mark_transfer,
+                track_dirty=track_dirty,
+                compress=compress,
+            )
+        )
+
     def get_perflow_dirty(
-        self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        compress: Optional[bool] = None,
     ) -> List[StateChunk]:
         """Export chunks for flows dirtied since the last drain (pre-copy round).
 
@@ -122,6 +159,21 @@ class MiddleboxInterface(abc.ABC):
         always-empty dirty set and freezes immediately).
         """
         return []
+
+    def iter_perflow_dirty(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        compress: Optional[bool] = None,
+    ) -> Iterator[StateChunk]:
+        """Stream the dirty-delta chunks; default delegates to the list form."""
+        return iter(
+            self.get_perflow_dirty(
+                role, pattern, mark_transfer=mark_transfer, compress=compress
+            )
+        )
 
     def dirty_perflow_count(self, role: StateRole, pattern: Optional[FlowPattern] = None) -> int:
         """Number of flows currently dirty in the store of the given role.
@@ -403,31 +455,25 @@ class SouthboundAgent:
         pattern = FlowPattern.parse(message.body.get("pattern"))
         mark_transfer = bool(message.body.get("transfer", False))
         track_dirty = bool(message.body.get("track_dirty", False))
+        compress = True if message.body.get("compress") else None
         costs = self.middlebox.costs
         scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.perflow_count(role)
         self.stats.gets_in_progress += 1
 
         def run_get() -> None:
             try:
-                chunks = self.middlebox.get_perflow(
-                    role, pattern, mark_transfer=mark_transfer, track_dirty=track_dirty
+                chunks = self.middlebox.iter_perflow(
+                    role,
+                    pattern,
+                    mark_transfer=mark_transfer,
+                    track_dirty=track_dirty,
+                    compress=compress,
                 )
             except OpenMBError as exc:
                 self.stats.gets_in_progress -= 1
                 self._error(message, str(exc))
                 return
-            # Stream one chunk per message, spaced by the per-chunk serialisation cost.
-            for index, chunk in enumerate(chunks):
-                self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
-            completion_delay = costs.get_per_chunk * len(chunks)
-            self.sim.schedule(
-                completion_delay,
-                self._send_get_complete,
-                message,
-                role,
-                len(chunks),
-                pattern if track_dirty else None,
-            )
+            self._pump_chunks(message, role, chunks, pattern if track_dirty else None)
 
         self.sim.schedule(scan_cost, run_get)
 
@@ -439,29 +485,87 @@ class SouthboundAgent:
         *at completion time* — dirt that accumulated while this round was
         being exported — which is what the controller compares against the
         spec's ``dirty_threshold``.
+
+        Unlike the bulk get, the pre-scan cost here is charged per *dirty*
+        entry, not per stored entry: the sharded store tracks dirty keys
+        explicitly, so a delta round over a million-flow store costs
+        O(dirtied) — that is what keeps the stop-and-copy freeze window flat
+        as the store scales.
         """
         role = StateRole(message.body["role"])
         pattern = FlowPattern.parse(message.body.get("pattern"))
         final = bool(message.body.get("final", False))
+        compress = True if message.body.get("compress") else None
         costs = self.middlebox.costs
-        scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.perflow_count(role)
+        scan_cost = costs.get_base + costs.get_scan_per_entry * self.middlebox.dirty_perflow_count(
+            role, pattern
+        )
         self.stats.gets_in_progress += 1
 
         def run_get() -> None:
             try:
-                chunks = self.middlebox.get_perflow_dirty(role, pattern, mark_transfer=final)
+                chunks = self.middlebox.iter_perflow_dirty(
+                    role, pattern, mark_transfer=final, compress=compress
+                )
             except OpenMBError as exc:
                 self.stats.gets_in_progress -= 1
                 self._error(message, str(exc))
                 return
-            for index, chunk in enumerate(chunks):
-                self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
-            completion_delay = costs.get_per_chunk * len(chunks)
-            self.sim.schedule(
-                completion_delay, self._send_get_complete, message, role, len(chunks), pattern
-            )
+            self._pump_chunks(message, role, chunks, pattern)
 
         self.sim.schedule(scan_cost, run_get)
+
+    #: Chunks drawn from a middlebox export iterator per pump step.  Bounds the
+    #: agent's resident set during a get to one batch of sealed chunks, however
+    #: large the matching flow set is.
+    GET_STREAM_BATCH = 256
+
+    def _pump_chunks(
+        self,
+        message: Message,
+        role: StateRole,
+        chunks: Iterator[StateChunk],
+        dirty_pattern: Optional[FlowPattern],
+        sent: int = 0,
+    ) -> None:
+        """Stream an export iterator in bounded batches.
+
+        Draws up to :data:`GET_STREAM_BATCH` chunks, schedules each one chunk
+        per message spaced by the per-chunk serialisation cost, and re-arms
+        itself after the batch's worth of cost.  The resulting wire schedule is
+        identical to materialising the whole list up front — chunk *j* still
+        leaves at ``t0 + (j + 1) * get_per_chunk`` and GET_COMPLETE at
+        ``t0 + n * get_per_chunk`` — but peak memory is O(batch), not O(flows).
+        """
+        costs = self.middlebox.costs
+        try:
+            batch = list(islice(chunks, self.GET_STREAM_BATCH))
+        except OpenMBError as exc:
+            self.stats.gets_in_progress -= 1
+            self._error(message, str(exc))
+            return
+        for index, chunk in enumerate(batch):
+            self.sim.schedule(costs.get_per_chunk * (index + 1), self._send_chunk, message, chunk)
+        sent += len(batch)
+        if len(batch) == self.GET_STREAM_BATCH:
+            self.sim.schedule(
+                costs.get_per_chunk * len(batch),
+                self._pump_chunks,
+                message,
+                role,
+                chunks,
+                dirty_pattern,
+                sent,
+            )
+            return
+        self.sim.schedule(
+            costs.get_per_chunk * len(batch),
+            self._send_get_complete,
+            message,
+            role,
+            sent,
+            dirty_pattern,
+        )
 
     def _send_chunk(self, request: Message, chunk: StateChunk) -> None:
         self.stats.chunks_sent += 1

@@ -12,9 +12,19 @@ every OpenMB-enabled middlebox uses internally:
 
 * :class:`PerFlowStateStore` — native per-flow state objects indexed by
   :class:`~repro.core.flowspace.FlowKey`, queried by
-  :class:`~repro.core.flowspace.FlowPattern` (by default with the linear scan
-  the paper's prototype uses; an optional index reproduces the "wildcard match
-  techniques" the paper suggests as an improvement).
+  :class:`~repro.core.flowspace.FlowPattern`.  The store is **sharded**: the
+  entries live in an array of hash shards keyed by the canonical flow token
+  (the same token :class:`~repro.core.sharding.ShardRing` hashes), so a fully
+  specified query touches one shard instead of the whole store, and iteration
+  for streaming export proceeds shard by shard with bounded transient memory.
+  Optional per-field secondary indexes (``indexed=True``) generalise the
+  original source-address index to destination addresses and ports — the
+  "wildcard match techniques" the paper suggests as an improvement.  The store
+  also keeps byte-level memory accounting (:class:`StoreMemoryStats`) so a
+  million-flow transfer can assert its resident and peak footprint.
+* :class:`DictPerFlowStateStore` — the original single-dict, linear-scan
+  implementation, kept verbatim as the differential-testing oracle for the
+  sharded store (see ``tests/test_state_properties.py``).
 * :class:`SharedStateSlot` — a single shared state object with clone and merge
   hooks supplied by the middlebox.
 """
@@ -22,11 +32,13 @@ every OpenMB-enabled middlebox uses internally:
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from .errors import GranularityError, StateError
 from .flowspace import FlowKey, FlowPattern
+from .sharding import stable_hash as _stable_hash
 
 T = TypeVar("T")
 
@@ -146,17 +158,101 @@ class SharedChunk:
         return len(self.blob)
 
 
+#: Default number of hash shards in a :class:`PerFlowStateStore`.  Enough to
+#: keep any single shard's scan bounded without making tiny stores pay for an
+#: array of empty dicts.
+DEFAULT_SHARD_COUNT = 16
+
+#: Accounted overhead per resident entry beyond the value object itself: the
+#: canonical ``FlowKey`` (slotted, five fields) plus its shard-dict slot.
+ENTRY_SLOT_BYTES = 176
+#: Accounted overhead per dirty-set entry (key reference, version int, slot).
+DIRTY_SLOT_BYTES = 120
+#: Accounted overhead per pre-copy install tag (key reference, tuple, slot).
+TAG_SLOT_BYTES = 168
+#: Accounted overhead per secondary-index posting (set member plus its share
+#: of the field-value bucket).
+INDEX_POSTING_BYTES = 96
+
+#: Sentinel distinguishing "absent" from a stored ``None`` value inside shard
+#: lookups, so accounting and dirty marks stay exact even for falsy objects.
+_MISSING = object()
+
+
+def _estimate_value_bytes(value: object) -> int:
+    """Shallow-plus-one-level byte estimate of a native state object.
+
+    ``sys.getsizeof`` alone under-reports containers (a dict's items live
+    outside its header), so one level of contained objects is added.  The
+    estimate is taken at :meth:`PerFlowStateStore.put` /
+    :meth:`~PerFlowStateStore.get_or_create` boundaries; in-place growth of a
+    handed-out object between those points is not observed, which keeps the
+    accounting O(1) per operation and is documented in docs/state-engine.md.
+    """
+    size = sys.getsizeof(value)
+    if isinstance(value, dict):
+        for item_key, item in value.items():
+            size += sys.getsizeof(item_key) + sys.getsizeof(item)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            size += sys.getsizeof(item)
+    return size
+
+
+@dataclass(frozen=True)
+class StoreMemoryStats:
+    """Byte-level accounting snapshot of one :class:`PerFlowStateStore`.
+
+    All byte figures are *accounted* estimates (entry slots plus a
+    shallow-plus-one-level measure of each value object), maintained
+    incrementally so reading them is O(1).  ``peak_total_bytes`` is the
+    high-water mark of ``total_bytes`` over the store's lifetime — the number
+    the million-flow tier bounds against resident state size.
+    """
+
+    #: Resident per-flow entries.
+    entries: int
+    #: Accounted bytes of resident entries (keys, slots, value estimates).
+    entry_bytes: int
+    #: Flows currently in the dirty set (pre-copy tracking).
+    dirty_entries: int
+    #: Accounted bytes of the dirty set.
+    dirty_bytes: int
+    #: Flows carrying a pre-copy install-round tag.
+    install_tags: int
+    #: Accounted bytes of the install-tag map.
+    install_tag_bytes: int
+    #: Secondary-index postings (0 unless the store was built ``indexed=True``).
+    index_postings: int
+    #: Accounted bytes of the secondary indexes.
+    index_bytes: int
+    #: Number of hash shards the entries are spread over.
+    shard_count: int
+    #: Lifetime high-water mark of :attr:`total_bytes`.
+    peak_total_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Current accounted footprint: entries + dirty set + tags + indexes."""
+        return self.entry_bytes + self.dirty_bytes + self.install_tag_bytes + self.index_bytes
+
+
 class PerFlowStateStore(Generic[T]):
-    """Per-flow state objects indexed by flow key.
+    """Sharded per-flow state objects indexed by flow key.
 
     The store records which header fields the owning middlebox uses to
     identify per-flow state (its *granularity*); queries at a finer
     granularity raise :class:`GranularityError`, as required by the paper.
 
-    Lookups by pattern use a linear scan by default (matching the paper's
-    prototype, whose get cost grows linearly and dominates put cost).  Passing
-    ``indexed=True`` maintains a per-source-address index, used by the
-    "indexed get" ablation benchmark.
+    Entries live in ``shard_count`` hash shards keyed by the canonical flow
+    token (the format :meth:`~repro.core.sharding.ShardRing.canonical_token`
+    hashes with :func:`~repro.core.sharding.stable_hash`, so placement is
+    stable across processes).  Pattern lookups scan shard by shard — the same
+    linear cost as the paper's prototype for partial patterns on a default
+    store — but a fully specified concrete pattern is routed to its single
+    owning shard, and ``indexed=True`` additionally maintains per-field
+    secondary indexes (source/destination address and source/destination
+    port), generalising the original source-address-only index.
 
     The store also supports **versioned dirty-key tracking** for iterative
     pre-copy transfers: between :meth:`begin_dirty_tracking` and
@@ -165,7 +261,12 @@ class PerFlowStateStore(Generic[T]):
     in place — and :meth:`remove`) stamps the flow's canonical key with a
     monotonically increasing version.  :meth:`drain_dirty` hands the dirtied
     keys to a delta round in dirtying order and clears them, so the next round
-    starts from a clean slate.
+    starts from a clean slate.  Dirty tracking is O(affected): nothing in the
+    drain path touches the resident entry population.
+
+    Byte-level memory accounting is maintained incrementally on every
+    mutation; :meth:`memory_stats` returns an O(1) snapshot including the
+    lifetime peak.
     """
 
     def __init__(
@@ -174,12 +275,21 @@ class PerFlowStateStore(Generic[T]):
         *,
         indexed: bool = False,
         bidirectional: bool = True,
+        shard_count: int = DEFAULT_SHARD_COUNT,
     ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
         self.granularity = tuple(granularity)
         self.bidirectional = bidirectional
-        self._entries: Dict[FlowKey, T] = {}
+        self.shard_count = shard_count
+        self._shards: List[Dict[FlowKey, T]] = [{} for _ in range(shard_count)]
+        self._count = 0
         self._indexed = indexed
+        #: Address index: nw_src *and* nw_dst of every canonical key map to it.
         self._by_src: Dict[str, set] = {}
+        #: Port index: tp_src and tp_dst of every canonical key map to it.
+        self._by_port: Dict[int, set] = {}
+        self._index_postings = 0
         #: Linear-scan step counter; exposed so benchmarks can verify the
         #: access pattern without timing noise.
         self.scan_steps = 0
@@ -190,6 +300,57 @@ class PerFlowStateStore(Generic[T]):
         #: Pre-copy install ordering at a destination: canonical key -> the
         #: round tag of the last tagged install; pruned with the entry itself.
         self._install_rounds: Dict[FlowKey, Tuple[int, ...]] = {}
+        #: Incrementally maintained accounted bytes of resident entries.
+        self._entry_bytes = 0
+        self._peak_total_bytes = 0
+
+    # -- sharding --------------------------------------------------------------
+
+    def _shard_index(self, canonical: FlowKey) -> int:
+        """Owning shard of a canonical key (stable token hash, as the ring's)."""
+        if self.shard_count == 1:
+            return 0
+        token = (
+            f"{canonical.nw_proto}|{canonical.nw_src}|{canonical.nw_dst}"
+            f"|{canonical.tp_src}|{canonical.tp_dst}"
+        )
+        return _stable_hash(token) % self.shard_count
+
+    def _shard_of(self, canonical: FlowKey) -> Dict[FlowKey, T]:
+        """The shard dict holding (or destined to hold) *canonical*."""
+        return self._shards[self._shard_index(canonical)]
+
+    # -- memory accounting -----------------------------------------------------
+
+    def _current_total_bytes(self) -> int:
+        """Current accounted footprint across entries, dirt, tags, indexes."""
+        return (
+            self._entry_bytes
+            + len(self._dirty) * DIRTY_SLOT_BYTES
+            + len(self._install_rounds) * TAG_SLOT_BYTES
+            + self._index_postings * INDEX_POSTING_BYTES
+        )
+
+    def _note_memory(self) -> None:
+        """Update the lifetime peak after a mutation."""
+        total = self._current_total_bytes()
+        if total > self._peak_total_bytes:
+            self._peak_total_bytes = total
+
+    def memory_stats(self) -> StoreMemoryStats:
+        """O(1) snapshot of the store's accounted memory footprint."""
+        return StoreMemoryStats(
+            entries=self._count,
+            entry_bytes=self._entry_bytes,
+            dirty_entries=len(self._dirty),
+            dirty_bytes=len(self._dirty) * DIRTY_SLOT_BYTES,
+            install_tags=len(self._install_rounds),
+            install_tag_bytes=len(self._install_rounds) * TAG_SLOT_BYTES,
+            index_postings=self._index_postings,
+            index_bytes=self._index_postings * INDEX_POSTING_BYTES,
+            shard_count=self.shard_count,
+            peak_total_bytes=max(self._peak_total_bytes, self._current_total_bytes()),
+        )
 
     # -- dirty tracking --------------------------------------------------------
 
@@ -229,6 +390,7 @@ class PerFlowStateStore(Generic[T]):
             return
         self._dirty_version += 1
         self._dirty[self.canonical_key(key)] = self._dirty_version
+        self._note_memory()
 
     def dirty_keys(self) -> List[FlowKey]:
         """Currently dirty canonical keys in dirtying order (oldest first)."""
@@ -261,6 +423,7 @@ class PerFlowStateStore(Generic[T]):
         if existing is not None and existing > tag:
             return False
         self._install_rounds[canonical] = tag
+        self._note_memory()
         return True
 
     def clear_install_round(self, key: FlowKey) -> None:
@@ -289,6 +452,338 @@ class PerFlowStateStore(Generic[T]):
         """Key under which state for *key* is stored (bidirectional canonical form)."""
         return key.bidirectional() if self.bidirectional else key
 
+    def _index_add(self, canonical: FlowKey) -> None:
+        """Add a freshly inserted canonical key to every secondary index."""
+        for bucket_map, bucket_key in (
+            (self._by_src, canonical.nw_src),
+            (self._by_src, canonical.nw_dst),
+            (self._by_port, canonical.tp_src),
+            (self._by_port, canonical.tp_dst),
+        ):
+            postings = bucket_map.setdefault(bucket_key, set())
+            if canonical not in postings:
+                postings.add(canonical)
+                self._index_postings += 1
+
+    def _index_discard(self, canonical: FlowKey) -> None:
+        """Remove a deleted canonical key from every secondary index."""
+        for bucket_map, bucket_key in (
+            (self._by_src, canonical.nw_src),
+            (self._by_src, canonical.nw_dst),
+            (self._by_port, canonical.tp_src),
+            (self._by_port, canonical.tp_dst),
+        ):
+            postings = bucket_map.get(bucket_key)
+            if postings is not None and canonical in postings:
+                postings.discard(canonical)
+                self._index_postings -= 1
+                if not postings:
+                    del bucket_map[bucket_key]
+
+    def put(self, key: FlowKey, value: T) -> None:
+        """Insert or replace the state object for a flow."""
+        key = self.canonical_key(key)
+        shard = self._shard_of(key)
+        old = shard.get(key, _MISSING)
+        if old is _MISSING:
+            self._count += 1
+            if self._indexed:
+                self._index_add(key)
+        else:
+            self._entry_bytes -= ENTRY_SLOT_BYTES + _estimate_value_bytes(old)
+        shard[key] = value
+        self._entry_bytes += ENTRY_SLOT_BYTES + _estimate_value_bytes(value)
+        self.mark_dirty(key)
+        self._note_memory()
+
+    def get(self, key: FlowKey) -> Optional[T]:
+        """Return the state object for a flow, or None when absent."""
+        canonical = self.canonical_key(key)
+        return self._shard_of(canonical).get(canonical)
+
+    def get_or_create(self, key: FlowKey, factory: Callable[[], T]) -> T:
+        """Return the state object for a flow, creating it via *factory* if missing.
+
+        Counts as a mutation for dirty tracking even when the object already
+        exists: callers use this accessor precisely to update the returned
+        object in place.
+        """
+        canonical = self.canonical_key(key)
+        shard = self._shard_of(canonical)
+        existing = shard.get(canonical, _MISSING)
+        if existing is _MISSING:
+            self.put(canonical, factory())
+            return shard[canonical]
+        self.mark_dirty(canonical)
+        return existing
+
+    def remove(self, key: FlowKey) -> Optional[T]:
+        """Remove and return the state object for a flow (None when absent)."""
+        canonical = self.canonical_key(key)
+        shard = self._shard_of(canonical)
+        value = shard.pop(canonical, _MISSING)
+        self._install_rounds.pop(canonical, None)
+        if value is _MISSING:
+            return None
+        self._count -= 1
+        self._entry_bytes -= ENTRY_SLOT_BYTES + _estimate_value_bytes(value)
+        self.mark_dirty(canonical)
+        if self._indexed:
+            self._index_discard(canonical)
+        self._note_memory()
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (with its index and install tag); dirty tracking is unaffected."""
+        for shard in self._shards:
+            shard.clear()
+        self._count = 0
+        self._entry_bytes = 0
+        self._by_src.clear()
+        self._by_port.clear()
+        self._index_postings = 0
+        self._install_rounds.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of per-flow entries in the store."""
+        return self._count
+
+    def __contains__(self, key: FlowKey) -> bool:
+        """Whether the store holds state for the flow (canonical form)."""
+        canonical = self.canonical_key(key)
+        return canonical in self._shard_of(canonical)
+
+    def keys(self) -> List[FlowKey]:
+        """The stored canonical flow keys (a copy, safe to mutate around)."""
+        collected: List[FlowKey] = []
+        for shard in self._shards:
+            collected.extend(shard.keys())
+        return collected
+
+    def items(self) -> Iterator[Tuple[FlowKey, T]]:
+        """Iterate over a snapshot of (canonical key, state object) pairs."""
+        collected: List[Tuple[FlowKey, T]] = []
+        for shard in self._shards:
+            collected.extend(shard.items())
+        return iter(collected)
+
+    def _check_granularity(self, pattern: FlowPattern) -> None:
+        """Reject patterns finer than the middlebox's per-flow granularity."""
+        requested = set(pattern.specified_fields())
+        available = set(self.granularity)
+        finer = requested - available
+        if finer:
+            raise GranularityError(
+                "request is finer than the middlebox's per-flow granularity: "
+                f"extra fields {sorted(finer)}; available {sorted(available)}"
+            )
+
+    def _exact_key(self, pattern: FlowPattern) -> Optional[FlowKey]:
+        """The single concrete FlowKey named by *pattern*, or None.
+
+        A pattern that pins all five tuple fields with no address prefixes
+        names at most two resident keys (itself and its reverse); both share
+        one canonical form, so the scan can be restricted to the owning shard
+        regardless of whether the store maintains secondary indexes.
+        """
+        if (
+            pattern.nw_proto is None
+            or pattern.tp_src is None
+            or pattern.tp_dst is None
+            or pattern.nw_src is None
+            or pattern.nw_dst is None
+            or "/" in pattern.nw_src
+            or "/" in pattern.nw_dst
+        ):
+            return None
+        return FlowKey(
+            nw_proto=pattern.nw_proto,
+            nw_src=pattern.nw_src,
+            nw_dst=pattern.nw_dst,
+            tp_src=pattern.tp_src,
+            tp_dst=pattern.tp_dst,
+        )
+
+    def query(self, pattern: FlowPattern) -> List[Tuple[FlowKey, T]]:
+        """Return all (key, value) pairs whose flow matches *pattern*.
+
+        Raises :class:`GranularityError` when the pattern constrains fields the
+        middlebox does not use to identify per-flow state.
+        """
+        return list(self.iter_matching(pattern))
+
+    def iter_matching(self, pattern: FlowPattern) -> Iterator[Tuple[FlowKey, T]]:
+        """Lazily yield (key, value) pairs matching *pattern*.
+
+        Same matching semantics and ``scan_steps`` totals as :meth:`query`,
+        but entries stream out as they are found: callers that seal chunks
+        batch-by-batch never hold the full match list.  Each shard is
+        snapshotted just before it is walked, so mutations to *other* flows
+        during iteration are safe; removing a yielded flow mid-stream is also
+        safe (the value was captured at snapshot time).
+        """
+        self._check_granularity(pattern)
+        if pattern.is_wildcard:
+            for shard in self._shards:
+                self.scan_steps += len(shard)
+                yield from list(shard.items())
+            return
+        if self._indexed:
+            candidates = self._index_candidates(pattern)
+            if candidates is not None:
+                self.scan_steps += len(candidates)
+                for key in candidates:
+                    shard = self._shard_of(key)
+                    if key in shard and pattern.matches_either_direction(key):
+                        yield key, shard[key]
+                return
+        exact = self._exact_key(pattern)
+        if exact is not None:
+            canonical = self.canonical_key(exact)
+            shard = self._shard_of(canonical)
+            for key, value in list(shard.items()):
+                self.scan_steps += 1
+                if pattern.matches_either_direction(key):
+                    yield key, value
+            return
+        for shard in self._shards:
+            for key, value in list(shard.items()):
+                self.scan_steps += 1
+                if pattern.matches_either_direction(key):
+                    yield key, value
+
+    def remove_matching(self, pattern: FlowPattern) -> List[Tuple[FlowKey, T]]:
+        """Remove and return all entries matching *pattern*."""
+        matches = self.query(pattern)
+        for key, _ in matches:
+            self.remove(key)
+        return matches
+
+    def count_matching(self, pattern: FlowPattern) -> int:
+        """Number of entries matching *pattern* (used by the stats call)."""
+        return len(self.query(pattern))
+
+    def _index_candidates(self, pattern: FlowPattern) -> Optional[set]:
+        """Smallest usable secondary-index posting set, or None when no index applies.
+
+        Exact (non-prefix) source/destination addresses consult the address
+        index; pinned transport ports consult the port index.  When several
+        indexed fields are pinned the smallest posting set wins, keeping the
+        candidate filter pass minimal.
+        """
+        best: Optional[set] = None
+        for text in (pattern.nw_src, pattern.nw_dst):
+            if text is not None and "/" not in text:
+                postings = self._by_src.get(text, set())
+                if best is None or len(postings) < len(best):
+                    best = postings
+        for port in (pattern.tp_src, pattern.tp_dst):
+            if port is not None:
+                postings = self._by_port.get(port, set())
+                if best is None or len(postings) < len(best):
+                    best = postings
+        if best is None:
+            return None
+        return set(best)
+
+
+class DictPerFlowStateStore(Generic[T]):
+    """The pre-shard single-dict store, kept verbatim as a differential oracle.
+
+    This is the seed implementation of :class:`PerFlowStateStore` — one flat
+    dict, a source-address-only index when ``indexed=True``, and a full linear
+    scan for every partial pattern.  It is *not* used by any runtime code
+    path; ``tests/test_state_properties.py`` replays seeded random operation
+    sequences against both stores and asserts identical results and identical
+    dirty-key drain order, so any behavioural drift in the sharded store is
+    caught mechanically rather than by inspection.
+    """
+
+    def __init__(
+        self,
+        granularity: Tuple[str, ...] = ("nw_proto", "nw_src", "nw_dst", "tp_src", "tp_dst"),
+        *,
+        indexed: bool = False,
+        bidirectional: bool = True,
+    ) -> None:
+        self.granularity = tuple(granularity)
+        self.bidirectional = bidirectional
+        self._entries: Dict[FlowKey, T] = {}
+        self._indexed = indexed
+        self._by_src: Dict[str, set] = {}
+        self.scan_steps = 0
+        self._dirty: Dict[FlowKey, int] = {}
+        self._dirty_version = 0
+        self._tracking_dirty = False
+        self._install_rounds: Dict[FlowKey, Tuple[int, ...]] = {}
+
+    @property
+    def tracking_dirty(self) -> bool:
+        """True while mutations are being recorded for a pre-copy transfer."""
+        return self._tracking_dirty
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of flows dirtied since the last drain (0 when not tracking)."""
+        return len(self._dirty)
+
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated flow keys; clears any previous dirty set."""
+        self._tracking_dirty = True
+        self._dirty.clear()
+
+    def end_dirty_tracking(self) -> None:
+        """Stop recording mutations and drop the dirty set."""
+        self._tracking_dirty = False
+        self._dirty.clear()
+
+    def mark_dirty(self, key: FlowKey) -> None:
+        """Stamp *key* with the next dirty version; no-op unless tracking."""
+        if not self._tracking_dirty:
+            return
+        self._dirty_version += 1
+        self._dirty[self.canonical_key(key)] = self._dirty_version
+
+    def dirty_keys(self) -> List[FlowKey]:
+        """Currently dirty canonical keys in dirtying order (oldest first)."""
+        return sorted(self._dirty, key=self._dirty.__getitem__)
+
+    def drain_dirty(self) -> List[FlowKey]:
+        """Return the dirty keys in dirtying order and clear the dirty set."""
+        keys = self.dirty_keys()
+        self._dirty.clear()
+        return keys
+
+    def install_round(self, key: FlowKey, tag: Tuple[int, ...]) -> bool:
+        """Record a round-tagged install for *key*; False when the tag is stale."""
+        canonical = self.canonical_key(key)
+        existing = self._install_rounds.get(canonical)
+        if existing is not None and existing > tag:
+            return False
+        self._install_rounds[canonical] = tag
+        return True
+
+    def clear_install_round(self, key: FlowKey) -> None:
+        """Forget the install tag for one flow."""
+        self._install_rounds.pop(self.canonical_key(key), None)
+
+    def clear_install_rounds(self) -> int:
+        """Drop every pre-copy install tag; returns how many were held."""
+        count = len(self._install_rounds)
+        self._install_rounds.clear()
+        return count
+
+    @property
+    def install_round_count(self) -> int:
+        """Number of flows currently carrying a pre-copy install tag."""
+        return len(self._install_rounds)
+
+    def canonical_key(self, key: FlowKey) -> FlowKey:
+        """Key under which state for *key* is stored (bidirectional canonical form)."""
+        return key.bidirectional() if self.bidirectional else key
+
     def put(self, key: FlowKey, value: T) -> None:
         """Insert or replace the state object for a flow."""
         key = self.canonical_key(key)
@@ -303,12 +798,7 @@ class PerFlowStateStore(Generic[T]):
         return self._entries.get(self.canonical_key(key))
 
     def get_or_create(self, key: FlowKey, factory: Callable[[], T]) -> T:
-        """Return the state object for a flow, creating it via *factory* if missing.
-
-        Counts as a mutation for dirty tracking even when the object already
-        exists: callers use this accessor precisely to update the returned
-        object in place.
-        """
+        """Return the state object for a flow, creating it via *factory* if missing."""
         canonical = self.canonical_key(key)
         if canonical not in self._entries:
             self.put(canonical, factory())
@@ -333,12 +823,10 @@ class PerFlowStateStore(Generic[T]):
         return value
 
     def clear(self) -> None:
-        """Drop every entry (with its index and install tag); dirty tracking is unaffected."""
+        """Drop every entry (with its index and install tag)."""
         self._entries.clear()
         self._by_src.clear()
         self._install_rounds.clear()
-
-    # -- queries ---------------------------------------------------------------
 
     def __len__(self) -> int:
         """Number of per-flow entries in the store."""
@@ -368,11 +856,7 @@ class PerFlowStateStore(Generic[T]):
             )
 
     def query(self, pattern: FlowPattern) -> List[Tuple[FlowKey, T]]:
-        """Return all (key, value) pairs whose flow matches *pattern*.
-
-        Raises :class:`GranularityError` when the pattern constrains fields the
-        middlebox does not use to identify per-flow state.
-        """
+        """Return all (key, value) pairs whose flow matches *pattern*."""
         self._check_granularity(pattern)
         if pattern.is_wildcard:
             self.scan_steps += len(self._entries)
@@ -401,7 +885,7 @@ class PerFlowStateStore(Generic[T]):
         return matches
 
     def count_matching(self, pattern: FlowPattern) -> int:
-        """Number of entries matching *pattern* (used by the stats call)."""
+        """Number of entries matching *pattern*."""
         return len(self.query(pattern))
 
     def _index_candidates(self, pattern: FlowPattern) -> Optional[set]:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.chunks import ChunkCodec
 from ..core.config import HierarchicalConfig
@@ -350,13 +350,52 @@ class Middlebox(Node, MiddleboxInterface):
         *,
         mark_transfer: bool = False,
         track_dirty: bool = False,
+        compress: Optional[bool] = None,
     ) -> List[StateChunk]:
         """Export sealed chunks matching *pattern*; optionally mark or track them.
 
-        ``mark_transfer`` flags the exported flows so later packets raise
-        re-process events (the snapshot freeze).  ``track_dirty`` instead arms
-        the store's dirty tracking at the snapshot instant — the pre-copy bulk
-        round, which keeps the source un-frozen.
+        Materialises :meth:`iter_perflow`'s stream — kept for callers that
+        want the full list (tests, small stores).  The southbound agent pumps
+        the iterator directly so a million-flow export never holds a
+        million-chunk list.
+        """
+        return list(
+            self.iter_perflow(
+                role,
+                pattern,
+                mark_transfer=mark_transfer,
+                track_dirty=track_dirty,
+                compress=compress,
+            )
+        )
+
+    def iter_perflow(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        track_dirty: bool = False,
+        compress: Optional[bool] = None,
+    ) -> Iterator[StateChunk]:
+        """Stream sealed chunks matching *pattern*; optionally mark or track them.
+
+        Setup is eager (it happens at the call, before the first chunk is
+        pulled): ``track_dirty`` arms the store's dirty tracking at this
+        instant — the pre-copy bulk round — so every mutation from now on is
+        either inside the snapshot stream or in the dirty set.  Chunks are
+        sealed lazily as the consumer pulls them, so the resident overhead is
+        one chunk, not the full export; an update that lands before a flow's
+        chunk is sealed is simply included in that chunk.  With
+        ``mark_transfer`` each flow is flagged for re-process events at the
+        instant its chunk is sealed (the freeze is per flow: an already-sealed
+        flow's packets raise events, a not-yet-sealed flow keeps processing
+        and its chunk carries the result).  *compress* overrides the codec's
+        payload compression for this export (a :class:`TransferSpec`
+        negotiation).
+
+        API busy time accrues per sealed chunk from the stream's start, so
+        the total matches the one-shot accounting whatever the pull pacing.
         """
         store = self._store_for(role)
         serialize, _ = self._serializer_for(role)
@@ -364,48 +403,95 @@ class Middlebox(Node, MiddleboxInterface):
             # Arm tracking before the query so every mutation after this
             # instant is either inside the snapshot or in the dirty set.
             store.begin_dirty_tracking()
-        matches = store.query(pattern)
-        chunks: List[StateChunk] = []
-        for key, obj in matches:
-            payload = serialize(key, obj)
-            chunks.append(self.codec.seal_perflow(key, payload, role))
-            if mark_transfer:
-                self._transferred_flows.add(key.bidirectional())
-        busy = self.costs.get_base + self.costs.get_per_chunk * len(chunks)
-        self._note_api_activity(busy)
-        return chunks
+        start = self.sim.now
+        self._note_api_activity(self.costs.get_base)
+        matches = store.iter_matching(pattern)
+
+        def generate() -> Iterator[StateChunk]:
+            sealed = 0
+            for key, obj in matches:
+                payload = serialize(key, obj)
+                chunk = self.codec.seal_perflow(key, payload, role, compress=compress)
+                if mark_transfer:
+                    self._transferred_flows.add(key.bidirectional())
+                sealed += 1
+                self._note_api_activity_absolute(
+                    start + self.costs.get_base + self.costs.get_per_chunk * sealed
+                )
+                yield chunk
+
+        return generate()
 
     def get_perflow_dirty(
-        self, role: StateRole, pattern: FlowPattern, *, mark_transfer: bool = False
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        compress: Optional[bool] = None,
     ) -> List[StateChunk]:
         """Export chunks for the flows dirtied since the last drain (delta round).
 
-        Drains the store's dirty set and exports the entries that still exist
-        and match *pattern* (a dirty flow outside the pattern is re-marked for
-        whoever owns it; a dirty flow that was removed simply has no chunk).
-        With ``mark_transfer`` — the final stop-and-copy — every flow matching
-        *pattern* is additionally flagged for re-process events and dirty
-        tracking stops: updates from this instant on surface as events instead
-        of dirt.
+        Materialises :meth:`iter_perflow_dirty`'s stream; see there for the
+        drain/freeze semantics.
+        """
+        return list(
+            self.iter_perflow_dirty(
+                role, pattern, mark_transfer=mark_transfer, compress=compress
+            )
+        )
+
+    def iter_perflow_dirty(
+        self,
+        role: StateRole,
+        pattern: FlowPattern,
+        *,
+        mark_transfer: bool = False,
+        compress: Optional[bool] = None,
+    ) -> Iterator[StateChunk]:
+        """Stream chunks for the flows dirtied since the last drain (delta round).
+
+        The drain is eager: the dirty set is taken and cleared at the call
+        instant, out-of-pattern flows are re-marked for whoever owns them, and
+        — with ``mark_transfer``, the final stop-and-copy — every flow
+        matching *pattern* is flagged for re-process events and dirty tracking
+        stops *before* the first chunk streams out.  The freeze therefore
+        happens at the call, exactly as in the one-shot form; a frozen flow's
+        state cannot change while the stream is being pulled (updates surface
+        as events), so lazy sealing observes the same bytes.  In non-final
+        rounds an update landing mid-stream is included in the flow's chunk
+        *and* re-dirties it for the next round — a harmless resend, never a
+        loss.  Chunks for flows removed between drain and pull are skipped.
         """
         store = self._store_for(role)
         serialize, _ = self._serializer_for(role)
-        chunks: List[StateChunk] = []
+        drained: List[FlowKey] = []
         for key in store.drain_dirty():
             if not pattern.matches_either_direction(key):
                 store.mark_dirty(key)  # not ours to move; keep it dirty
                 continue
-            obj = store.get(key)
-            if obj is None:
-                continue  # removed after it was dirtied; nothing to resend
-            chunks.append(self.codec.seal_perflow(key, serialize(key, obj), role))
+            drained.append(key)
         if mark_transfer:
-            for key, _ in store.query(pattern):
+            for key, _ in store.iter_matching(pattern):
                 self._transferred_flows.add(key.bidirectional())
             store.end_dirty_tracking()
-        busy = self.costs.get_base + self.costs.get_per_chunk * len(chunks)
-        self._note_api_activity(busy)
-        return chunks
+        start = self.sim.now
+        self._note_api_activity(self.costs.get_base)
+
+        def generate() -> Iterator[StateChunk]:
+            sealed = 0
+            for key in drained:
+                obj = store.get(key)
+                if obj is None:
+                    continue  # removed after it was dirtied; nothing to resend
+                chunk = self.codec.seal_perflow(key, serialize(key, obj), role, compress=compress)
+                sealed += 1
+                self._note_api_activity_absolute(
+                    start + self.costs.get_base + self.costs.get_per_chunk * sealed
+                )
+                yield chunk
+
+        return generate()
 
     def dirty_perflow_count(self, role: StateRole, pattern: Optional[FlowPattern] = None) -> int:
         """Flows dirtied (and not yet drained) in the store of the given role.
@@ -634,6 +720,15 @@ class Middlebox(Node, MiddleboxInterface):
         configured slowdown factor (the paper's ≈2 % increase during gets).
         """
         self._api_busy_until = max(self._api_busy_until, self.sim.now + duration)
+
+    def _note_api_activity_absolute(self, until: float) -> None:
+        """Extend API busy time to an absolute instant.
+
+        Streaming exports charge per sealed chunk relative to the *stream's*
+        start, so the accumulated busy horizon is the same whether a consumer
+        pulls the whole export at once or pumps it in bounded batches.
+        """
+        self._api_busy_until = max(self._api_busy_until, until)
 
     def launch_like(self, other: "Middlebox") -> None:
         """Copy configuration from another instance (used when launching replicas)."""

@@ -103,6 +103,55 @@ class TestFederatedChaosProfile:
         assert first.takeover_by == second.takeover_by
 
 
+class TestMillionFlowSmokeProfile:
+    """The ``million_flow_smoke`` point of the chaos matrix.
+
+    A 10 000-flow pre-copy move — three orders of magnitude above the default
+    matrix's per-scenario flow count, small enough for tier-1 — driven through
+    the streaming chunk export, checked against the same four global
+    invariants.  The full million-flow version of this workload lives in
+    ``tests/test_state_scale.py`` behind ``RUN_SLOW``.
+    """
+
+    def test_million_flow_smoke_invariants(self):
+        spec = ChaosSpec(
+            seed=1337,
+            guarantee="loss_free",
+            mode="precopy",
+            shards=4,
+            profile="clean",
+            batch_size=64,
+            flows=10_000,
+            packets=400,
+            interval=5e-5,
+            quiescence=0.05,
+            limit=120.0,
+        )
+        result = run_chaos(spec)
+        result.assert_ok()
+        assert result.outcome == "completed"
+        assert result.lost_updates == 0
+
+    def test_million_flow_smoke_is_seed_deterministic(self):
+        spec = ChaosSpec(
+            seed=1337,
+            guarantee="loss_free",
+            mode="precopy",
+            shards=4,
+            profile="clean",
+            batch_size=64,
+            flows=2_000,
+            packets=200,
+            interval=5e-5,
+            quiescence=0.05,
+            limit=120.0,
+        )
+        first = run_chaos(spec)
+        second = run_chaos(spec)
+        assert first.executed_events == second.executed_events
+        assert first.settled_at == second.settled_at
+
+
 class TestAcceptanceScenarios:
     """The specific end-to-end claims of the issue's acceptance criteria."""
 

@@ -196,8 +196,8 @@ class TestControllerEventDeduplication:
         controller.register(src)
         controller.register(dst)
         event = src.generate_reprocess_event(0)
-        assert controller.forward_event("dst", event) is True
-        assert controller.forward_event("dst", event) is False
+        assert controller.forward_event("dst", event) == "sent"
+        assert controller.forward_event("dst", event) == "covered"
 
 
 class TestChannelAndConfigOverrides:

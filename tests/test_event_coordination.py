@@ -119,8 +119,8 @@ class TestSequenceTokens:
         controller.register(src)
         controller.register(dst)
         event = src.generate_reprocess_event(0)
-        assert controller.forward_event("d", event) is True
-        assert controller.forward_event("d", event) is False
+        assert controller.forward_event("d", event) == "sent"
+        assert controller.forward_event("d", event) == "covered"
 
     def test_forward_event_reissued_after_state_install(self, sim):
         from repro.middleboxes import DummyMiddlebox
@@ -131,13 +131,32 @@ class TestSequenceTokens:
         controller.register(src)
         controller.register(dst)
         event = src.generate_reprocess_event(0)
-        assert controller.forward_event("d", event) is True
+        assert controller.forward_event("d", event) == "sent"
+        sim.run(until=sim.now + 1.0)  # drain the replay's ACK
         # A chunk for the event's flow lands at the destination afterwards:
         # it overwrote the replayed update, so the replay must be re-issued.
         controller.note_perflow_installed("d", [event.key.bidirectional()])
-        assert controller.forward_event("d", event) is True
+        assert controller.forward_event("d", event) == "sent"
         # ... but only once per install.
-        assert controller.forward_event("d", event) is False
+        sim.run(until=sim.now + 1.0)
+        assert controller.forward_event("d", event) == "covered"
+
+    def test_forward_event_defers_while_replay_in_flight(self, sim):
+        """An install ACKed while a replay is still on the wire was applied
+        *before* that replay (one FIFO ACK channel), so it did not overwrite
+        the replay and no re-issue may happen — that was a double apply."""
+        from repro.middleboxes import DummyMiddlebox
+
+        controller = MBController(sim, ControllerConfig(quiescence_timeout=0.2))
+        src = DummyMiddlebox(sim, "s", chunk_count=1)
+        dst = DummyMiddlebox(sim, "d")
+        controller.register(src)
+        controller.register(dst)
+        event = src.generate_reprocess_event(0)
+        assert controller.forward_event("d", event) == "sent"
+        # The replay has not ACKed yet; an install stamped now happened first.
+        controller.note_perflow_installed("d", [event.key.bidirectional()])
+        assert controller.forward_event("d", event) == "covered"
 
     def test_put_and_reprocess_messages_carry_sequence_tokens(self, sim):
         controller, northbound, src, dst = make_pair(sim)

@@ -555,10 +555,10 @@ class TestSingleDomainGoldenEquivalence:
 
     def test_contended_workload_matches_the_golden_numbers(self):
         durations, received, sent, executed = self._workload(2, 50, events_rate=200.0)
-        assert durations == [0.016581384, 0.016621384]
+        assert durations == [0.016581392, 0.016621392]
         assert (received, sent, executed) == (412, 206, 1440)
 
     def test_single_move_matches_the_golden_numbers(self):
         durations, received, sent, executed = self._workload(1, 80)
-        assert durations == [pytest.approx(0.013291384, abs=1e-9)]
+        assert durations == [pytest.approx(0.013291392, abs=1e-9)]
         assert (received, sent, executed) == (322, 162, 1130)

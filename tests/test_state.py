@@ -143,6 +143,53 @@ class TestPerFlowStateStore:
             indexed.put(key(i), i)
         assert len(indexed.query(FlowPattern(nw_src="10.0.0.0/24"))) == 10
 
+    def test_indexed_store_serves_port_only_patterns_from_port_index(self):
+        """Regression: a pattern wildcarding the address fields used to force a
+        full linear scan on an indexed store (only a source-address index
+        existed).  The port index must now bound the scan to its postings."""
+        indexed = PerFlowStateStore(indexed=True)
+        for i in range(50):
+            indexed.put(key(i), i)
+        indexed.scan_steps = 0
+        matches = indexed.query(FlowPattern(tp_src=1007))
+        assert len(matches) == 1
+        assert indexed.scan_steps < 50
+
+    def test_indexed_store_picks_smallest_posting_set(self):
+        indexed = PerFlowStateStore(indexed=True)
+        # 40 flows share a destination port; each has a unique source port.
+        for i in range(40):
+            indexed.put(FlowKey(6, f"10.1.0.{i + 1}", "192.0.2.10", 5000 + i, 80), i)
+        indexed.scan_steps = 0
+        matches = indexed.query(FlowPattern(tp_src=5003, tp_dst=80))
+        assert len(matches) == 1
+        # The unique source port (1 posting) must win over the shared
+        # destination port (40 postings).
+        assert indexed.scan_steps == 1
+
+    def test_exact_pattern_scans_single_shard_without_index(self):
+        """Regression companion: a fully pinned concrete pattern on a plain
+        (non-indexed) store is routed to the single shard owning the canonical
+        key instead of walking all shards."""
+        store = PerFlowStateStore(shard_count=16)
+        for i in range(320):
+            store.put(key(i % 250, src_subnet=f"10.{i // 250}.0"), i)
+        total = len(store)
+        target = key(7)
+        store.scan_steps = 0
+        matches = store.query(
+            FlowPattern(
+                nw_proto=target.nw_proto,
+                nw_src=target.nw_src,
+                nw_dst=target.nw_dst,
+                tp_src=target.tp_src,
+                tp_dst=target.tp_dst,
+            )
+        )
+        assert len(matches) == 1
+        # Only the owning shard was walked — a small fraction of the store.
+        assert 0 < store.scan_steps < total / 2
+
     def test_clear(self):
         store = PerFlowStateStore()
         store.put(key(0), 1)

@@ -1,0 +1,172 @@
+"""Differential property tests: sharded store vs. the single-dict oracle.
+
+The sharded :class:`PerFlowStateStore` replaced the original flat-dict
+implementation; :class:`DictPerFlowStateStore` preserves that original code
+verbatim as an executable oracle.  These tests drive both implementations with
+the same seeded random operation sequences and require identical observable
+behaviour: query results, lengths, membership, removal returns, dirty-key
+*order*, and install-round verdicts.  Any divergence is a bug in the sharded
+engine (or a deliberate semantic change that must be called out explicitly).
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import GranularityError
+from repro.core.flowspace import FlowKey, FlowPattern
+from repro.core.state import DictPerFlowStateStore, PerFlowStateStore
+
+#: Deliberately collision-rich universe so random sequences hit the same flow
+#: repeatedly (put-over-put, remove-of-present, reverse-direction lookups).
+ADDRS = [f"10.0.{i // 8}.{i % 8 + 1}" for i in range(24)]
+PORTS = [1000 + i for i in range(12)]
+
+
+def random_key(rng: random.Random) -> FlowKey:
+    """One random concrete flow key from the small collision-rich universe."""
+    return FlowKey(
+        nw_proto=rng.choice((6, 17)),
+        nw_src=rng.choice(ADDRS),
+        nw_dst=rng.choice(ADDRS),
+        tp_src=rng.choice(PORTS),
+        tp_dst=rng.choice(PORTS),
+    )
+
+
+def random_pattern(rng: random.Random) -> FlowPattern:
+    """A random pattern: wildcard, partially pinned, prefixed, or concrete."""
+    shape = rng.randrange(5)
+    if shape == 0:
+        return FlowPattern()
+    if shape == 1:
+        return FlowPattern(nw_src=rng.choice(ADDRS))
+    if shape == 2:
+        return FlowPattern(nw_src=f"10.0.{rng.randrange(3)}.0/24")
+    if shape == 3:
+        return FlowPattern(tp_src=rng.choice(PORTS), nw_proto=rng.choice((6, 17)))
+    k = random_key(rng)
+    return FlowPattern(
+        nw_proto=k.nw_proto,
+        nw_src=k.nw_src,
+        nw_dst=k.nw_dst,
+        tp_src=k.tp_src,
+        tp_dst=k.tp_dst,
+    )
+
+
+def canonical_sorted(pairs):
+    """Order-insensitive canonical form of a [(FlowKey, value)] result."""
+    return sorted(pairs, key=lambda kv: kv[0])
+
+
+def apply_op(store, rng: random.Random):
+    """Apply one random operation to *store*; return its observable outcome.
+
+    The same seeded ``rng`` drives both stores, so both see byte-identical
+    operation sequences; the returned outcome tuples are compared directly.
+    """
+    op = rng.randrange(10)
+    if op <= 2:  # put (weighted: populate the store)
+        k, v = random_key(rng), rng.randrange(1_000_000)
+        store.put(k, v)
+        return ("put", len(store))
+    if op == 3:
+        k = random_key(rng)
+        return ("get", store.get(k))
+    if op == 4:
+        k = random_key(rng)
+        return ("remove", store.remove(k), len(store))
+    if op == 5:
+        k = random_key(rng)
+        default = rng.randrange(1_000_000)
+        return ("get_or_create", store.get_or_create(k, lambda: default))
+    if op == 6:
+        pattern = random_pattern(rng)
+        return ("query", canonical_sorted(store.query(pattern)))
+    if op == 7:
+        k = random_key(rng)
+        store.mark_dirty(k)
+        return ("mark_dirty", store.dirty_count)
+    if op == 8:
+        k = random_key(rng)
+        tag = (rng.randrange(3), rng.randrange(4))
+        return ("install_round", store.install_round(k, tag))
+    k = random_key(rng)
+    return ("contains", k in store)
+
+
+def run_sequence(seed: int, ops: int, *, indexed: bool, shard_count: int):
+    """Drive oracle and sharded store through one identical random sequence."""
+    sharded = PerFlowStateStore(indexed=indexed, shard_count=shard_count)
+    oracle = DictPerFlowStateStore(indexed=indexed)
+    sharded.begin_dirty_tracking()
+    oracle.begin_dirty_tracking()
+    for step in range(ops):
+        rng_a = random.Random(seed * 1_000_003 + step)
+        rng_b = random.Random(seed * 1_000_003 + step)
+        out_sharded = apply_op(sharded, rng_a)
+        out_oracle = apply_op(oracle, rng_b)
+        assert out_sharded == out_oracle, f"divergence at step {step} (seed {seed})"
+        if step % 97 == 0:
+            # Dirty keys must drain in the *same order* from both stores —
+            # delta rounds replay them and ordering affects the wire schedule.
+            assert sharded.dirty_keys() == oracle.dirty_keys(), f"dirty order @ {step}"
+    return sharded, oracle
+
+
+class TestDifferentialRandomSequences:
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
+    def test_sharded_matches_oracle(self, seed):
+        sharded, oracle = run_sequence(seed, 600, indexed=False, shard_count=16)
+        assert canonical_sorted(sharded.items()) == canonical_sorted(oracle.items())
+        assert sorted(sharded.keys()) == sorted(oracle.keys())
+        assert sharded.dirty_keys() == oracle.dirty_keys()
+
+    @pytest.mark.parametrize("seed", [3, 17, 2026])
+    def test_indexed_sharded_matches_indexed_oracle(self, seed):
+        sharded, oracle = run_sequence(seed, 600, indexed=True, shard_count=16)
+        assert canonical_sorted(sharded.items()) == canonical_sorted(oracle.items())
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 5, 64])
+    def test_shard_count_is_invisible(self, shard_count):
+        sharded, oracle = run_sequence(11, 400, indexed=False, shard_count=shard_count)
+        assert canonical_sorted(sharded.items()) == canonical_sorted(oracle.items())
+
+    def test_drain_dirty_order_identical(self):
+        sharded = PerFlowStateStore()
+        oracle = DictPerFlowStateStore()
+        rng = random.Random(5)
+        keys = [random_key(rng) for _ in range(200)]
+        for store in (sharded, oracle):
+            store.begin_dirty_tracking()
+        for k in keys:
+            sharded.put(k, 1)
+            oracle.put(k, 1)
+        assert sharded.drain_dirty() == oracle.drain_dirty()
+        assert sharded.drain_dirty() == oracle.drain_dirty() == []
+
+    def test_remove_matching_identical(self):
+        sharded, oracle = run_sequence(23, 300, indexed=False, shard_count=16)
+        pattern = FlowPattern(nw_src="10.0.1.0/24")
+        assert canonical_sorted(sharded.remove_matching(pattern)) == canonical_sorted(
+            oracle.remove_matching(pattern)
+        )
+        assert len(sharded) == len(oracle)
+
+    def test_granularity_errors_identical(self):
+        sharded = PerFlowStateStore(granularity=("nw_src",))
+        oracle = DictPerFlowStateStore(granularity=("nw_src",))
+        fine = FlowPattern(nw_src="10.0.0.1", tp_src=1000)
+        with pytest.raises(GranularityError):
+            sharded.query(fine)
+        with pytest.raises(GranularityError):
+            oracle.query(fine)
+
+    def test_clear_resets_both(self):
+        sharded, oracle = run_sequence(31, 200, indexed=True, shard_count=8)
+        sharded.clear()
+        oracle.clear()
+        assert len(sharded) == len(oracle) == 0
+        assert canonical_sorted(sharded.query(FlowPattern())) == []
+        assert sharded.memory_stats().entry_bytes == 0
