@@ -1,9 +1,18 @@
 """Network substrate: discrete-event simulator, switches, links, SDN controller."""
 
 from .flowtable import Action, ActionType, FlowRule, FlowTable
-from .links import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+from .links import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    Link,
+    LinkFaultPlan,
+    LinkFaultProfile,
+    LinkStats,
+    ScriptedLinkFault,
+)
 from .monitoring import DeliveryRecorder, LatencyProbe
 from .packet import ACK, FIN, PSH, RST, SYN, Packet, tcp_packet, udp_packet
+from .protection import LinkProtection, ProtectionConfig, ProtectionStats, ProtectionSummary, summarize
 from .sdn import DEFAULT_RULE_INSTALL_LATENCY, RouteHandle, SDNController
 from .simulator import Future, Simulator, all_of
 from .switch import Switch, SwitchStats
@@ -15,6 +24,15 @@ __all__ = [
     "FlowRule",
     "FlowTable",
     "Link",
+    "LinkFaultPlan",
+    "LinkFaultProfile",
+    "LinkStats",
+    "ScriptedLinkFault",
+    "LinkProtection",
+    "ProtectionConfig",
+    "ProtectionStats",
+    "ProtectionSummary",
+    "summarize",
     "DEFAULT_BANDWIDTH",
     "DEFAULT_LATENCY",
     "DEFAULT_RULE_INSTALL_LATENCY",

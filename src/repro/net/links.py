@@ -1,21 +1,44 @@
-"""Links between network nodes, with propagation latency and bandwidth.
+"""Links between network nodes, with latency, bandwidth, and a fault model.
 
 A link connects one port on each of two nodes.  Transmitting a packet takes
 ``latency + wire_size / bandwidth`` simulated seconds; packets sent in quick
 succession queue behind one another on the link (a simple store-and-forward
 serialisation model), which is what produces the queueing component of the
 per-packet latency measurements in the evaluation.
+
+Each direction of the wire is a :meth:`~repro.runtime.Runtime.lane` — the
+same serialisation abstraction the control channels and controller shards run
+on — so the realtime runtime drives data-plane wires exactly like control
+wires (one asyncio task per direction), while the deterministic simulator
+keeps the seed's ``free_at`` tick arithmetic bit for bit.
+
+Two opt-in layers make the data plane imperfect and then repair it:
+
+* a seeded :class:`LinkFaultPlan` (mirroring
+  :class:`repro.core.channel.FaultPlan`) injects per-direction random loss,
+  corruption loss, and reordering delay, plus scripted one-shot faults
+  ("corrupt the 7th a→b frame") — all drawn from one ``random.Random(seed)``
+  per link so fault sequences reproduce bit for bit;
+* a LinkGuardian-style link-local protection protocol
+  (:mod:`repro.net.protection`) between the two endpoints masks those losses
+  with sub-RTT retransmission; :meth:`Link.enable_protection` attaches it.
+
+Both layers are off by default: a link constructed without a fault plan and
+without protection behaves — and schedules — exactly like the seed
+implementation.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .packet import Packet
 from .simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from .protection import LinkProtection, ProtectionConfig
     from .topology import Node
 
 
@@ -25,14 +48,138 @@ DEFAULT_LATENCY = 50e-6
 #: Default link bandwidth (bytes/second) — 1 Gbps, the paper's testbed NICs.
 DEFAULT_BANDWIDTH = 125_000_000.0
 
+#: Direction labels used by fault plans and stats (a→b is node_a transmitting).
+A_TO_B = "a_to_b"
+B_TO_A = "b_to_a"
+
 
 @dataclass
 class LinkStats:
-    """Counters kept per link end."""
+    """Counters kept per link direction (indexed by the transmitting end)."""
 
     packets: int = 0
     bytes: int = 0
+    #: Frames lost outright: downed link, or the fault plan's random loss.
     drops: int = 0
+    #: Frames lost to corruption (failed CRC at the receiver's MAC): the
+    #: receiving end sees *that* something arrived but not what — the loss
+    #: class LinkGuardian-style protection detects by sequence gap.
+    corrupted: int = 0
+    #: Frames the fault plan delayed past a successor's delivery window.
+    reordered: int = 0
+    #: Frames re-sent by the link-local protection protocol in this direction.
+    retransmits: int = 0
+    #: Protection control frames (ACK/NACK) sent in this direction.
+    ctrl_frames: int = 0
+
+    @property
+    def lost(self) -> int:
+        """Frames this direction lost on the wire (drops plus corruption)."""
+        return self.drops + self.corrupted
+
+
+# =========================================================================================
+# Fault model (mirrors core.channel.FaultPlan at the data-plane layer)
+# =========================================================================================
+
+
+@dataclass
+class LinkFaultProfile:
+    """Random fault probabilities for one direction of a link.
+
+    ``loss`` and ``corruption`` are per-frame probabilities of the frame
+    disappearing (the latter counted separately as corruption loss, the class
+    of loss link-local protection is built to mask); ``reorder`` is the
+    per-frame probability of the frame being delayed past roughly one
+    successor's delivery window (expressed via extra delivery latency).
+    """
+
+    loss: float = 0.0
+    corruption: float = 0.0
+    reorder: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        """True when any fault of this profile can actually fire."""
+        return self.loss > 0 or self.corruption > 0 or self.reorder > 0
+
+
+@dataclass
+class ScriptedLinkFault:
+    """One deterministic, one-shot fault from a scenario's script.
+
+    ``kind`` is ``"drop"`` or ``"corrupt"``; the fault consumes the *nth*
+    data frame (1-based; protection control frames are not counted)
+    transmitted in *direction* (:data:`A_TO_B` or :data:`B_TO_A`).
+    """
+
+    kind: str
+    direction: str = A_TO_B
+    nth: int = 0
+    #: Set once the fault has fired (one-shot bookkeeping).
+    fired: bool = False
+
+
+class LinkFaultPlan:
+    """A seeded, deterministic fault-injection plan for one link.
+
+    All randomness flows from a single ``random.Random(seed)``, so two runs
+    with the same plan (and the same simulated workload) lose and corrupt
+    byte-for-byte identical frames — the same reproducibility contract as
+    :class:`repro.core.channel.FaultPlan` on the control plane.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        a_to_b: Optional[LinkFaultProfile] = None,
+        b_to_a: Optional[LinkFaultProfile] = None,
+        scripted: Optional[List[ScriptedLinkFault]] = None,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.a_to_b = a_to_b or LinkFaultProfile()
+        self.b_to_a = b_to_a or LinkFaultProfile()
+        self.scripted: List[ScriptedLinkFault] = list(scripted or [])
+
+    @classmethod
+    def symmetric(
+        cls,
+        seed: int = 0,
+        *,
+        loss: float = 0.0,
+        corruption: float = 0.0,
+        reorder: float = 0.0,
+        scripted: Optional[List[ScriptedLinkFault]] = None,
+    ) -> "LinkFaultPlan":
+        """A plan applying the same fault probabilities in both directions."""
+        return cls(
+            seed,
+            a_to_b=LinkFaultProfile(loss=loss, corruption=corruption, reorder=reorder),
+            b_to_a=LinkFaultProfile(loss=loss, corruption=corruption, reorder=reorder),
+            scripted=scripted,
+        )
+
+    def profile_for(self, direction: str) -> LinkFaultProfile:
+        """The random-fault profile applied to *direction* of the link."""
+        return self.a_to_b if direction == A_TO_B else self.b_to_a
+
+    def take_scripted(self, direction: str, index: int) -> Optional[str]:
+        """Consume a scripted fault for the *index*-th frame of *direction*.
+
+        Returns the fault kind (``"drop"`` / ``"corrupt"``) or None.
+        """
+        for fault in self.scripted:
+            if not fault.fired and fault.direction == direction and fault.nth == index:
+                fault.fired = True
+                return fault.kind
+        return None
+
+
+# =========================================================================================
+# The link
+# =========================================================================================
 
 
 class Link:
@@ -49,6 +196,7 @@ class Link:
         latency: float = DEFAULT_LATENCY,
         bandwidth: float = DEFAULT_BANDWIDTH,
         name: Optional[str] = None,
+        faults: Optional[LinkFaultPlan] = None,
     ) -> None:
         self.sim = sim
         self.node_a = node_a
@@ -59,10 +207,22 @@ class Link:
         self.bandwidth = bandwidth
         self.name = name or f"{node_a.name}:{port_a}<->{node_b.name}:{port_b}"
         self.up = True
+        self.faults = faults
         self.stats_a_to_b = LinkStats()
         self.stats_b_to_a = LinkStats()
-        # Earliest time each direction's transmitter is free (serialisation queue).
-        self._free_at = {node_a.name: 0.0, node_b.name: 0.0}
+        #: LinkGuardian-style link-local protection; None = unprotected.
+        self.protection: Optional["LinkProtection"] = None
+        #: One serialisation lane per direction, keyed by endpoint *identity*
+        #: (never by name: two nodes that happen to share a name must not
+        #: share a transmitter).  On the realtime runtime each direction is
+        #: its own asyncio task, exactly like a control-channel wire.
+        self._wires = {
+            id(node_a): sim.lane(f"{self.name}:{A_TO_B}"),
+            id(node_b): sim.lane(f"{self.name}:{B_TO_A}"),
+        }
+        #: Data frames transmitted per direction — the index space scripted
+        #: "fault the nth frame" faults refer to (control frames excluded).
+        self._sent = {A_TO_B: 0, B_TO_A: 0}
 
     # -- endpoint helpers -------------------------------------------------------
 
@@ -82,36 +242,126 @@ class Link:
             return self.port_b
         raise ValueError(f"{node.name} is not attached to link {self.name}")
 
+    def direction_from(self, node: "Node") -> str:
+        """The direction label (:data:`A_TO_B` / :data:`B_TO_A`) for frames *node* sends."""
+        if node is self.node_a:
+            return A_TO_B
+        if node is self.node_b:
+            return B_TO_A
+        raise ValueError(f"{node.name} is not attached to link {self.name}")
+
     def _stats_from(self, node: "Node") -> LinkStats:
         return self.stats_a_to_b if node is self.node_a else self.stats_b_to_a
 
+    def stats_for(self, direction: str) -> LinkStats:
+        """The counters of one direction by label."""
+        return self.stats_a_to_b if direction == A_TO_B else self.stats_b_to_a
+
+    # -- protection --------------------------------------------------------------
+
+    def enable_protection(self, config: Optional["ProtectionConfig"] = None) -> "LinkProtection":
+        """Attach LinkGuardian-style link-local protection to both directions.
+
+        The two endpoints then run the sequence-stamp / hold-buffer /
+        retransmit protocol of :mod:`repro.net.protection`; corruption and
+        random loss are masked from the nodes above without end-to-end
+        involvement.  Returns the attached :class:`LinkProtection`.
+        """
+        from .protection import LinkProtection, ProtectionConfig
+
+        self.protection = LinkProtection(self, config or ProtectionConfig())
+        return self.protection
+
     # -- transmission -----------------------------------------------------------
 
-    def transmit(self, packet: Packet, sender: "Node") -> float:
+    def transmit(self, packet: Packet, sender: "Node") -> Optional[float]:
         """Send *packet* from *sender* toward the other end.
 
-        Returns the simulated delivery time.  A downed link drops the packet
-        (delivery time is returned as ``-1``).
+        Returns the simulated delivery time, or ``None`` when the frame was
+        lost on the wire (downed link, random loss, or corruption) — callers
+        must never treat a drop as a valid delivery time.  With protection
+        enabled the frame is sequence-stamped and tracked for link-local
+        retransmission first.
+        """
+        if self.protection is not None:
+            return self.protection.send(packet, sender)
+        return self.transmit_raw(packet, sender)
+
+    def transmit_raw(self, packet: Packet, sender: "Node") -> Optional[float]:
+        """One physical transmission attempt, bypassing protection.
+
+        This is the wire itself: serialisation-lane occupancy, propagation
+        latency, and the fault plan.  The protection layer calls this for
+        every (re)transmission and control frame; unprotected links come here
+        straight from :meth:`transmit`.
         """
         stats = self._stats_from(sender)
         if not self.up:
             stats.drops += 1
-            return -1.0
+            return None
+        direction = self.direction_from(sender)
         receiver = self.other_end(sender)
         in_port = self.port_on(receiver)
         serialization = packet.wire_size / self.bandwidth if self.bandwidth else 0.0
-        start = max(self.sim.now, self._free_at[sender.name])
-        finish = start + serialization
-        self._free_at[sender.name] = finish
+        wire = self._wires[id(sender)]
+        finish = wire.reserve(serialization)
         delivery_time = finish + self.latency
         stats.packets += 1
         stats.bytes += packet.wire_size
-        self.sim.schedule_at(delivery_time, receiver.receive, packet, in_port)
+        is_ctrl = self.protection is not None and self.protection.is_ctrl(packet)
+        if is_ctrl:
+            stats.ctrl_frames += 1
+        else:
+            self._sent[direction] += 1
+        if self.faults is not None:
+            delivery_time = self._apply_faults(direction, stats, delivery_time, counted=not is_ctrl)
+            if delivery_time is None:
+                return None
+        if self.protection is not None:
+            wire.dispatch_at(delivery_time, self.protection.on_arrival, packet, receiver, in_port)
+        else:
+            wire.dispatch_at(delivery_time, receiver.receive, packet, in_port)
+        return delivery_time
+
+    def _apply_faults(
+        self, direction: str, stats: LinkStats, delivery_time: float, *, counted: bool
+    ) -> Optional[float]:
+        """Mutate one delivery according to the fault plan; None = lost.
+
+        The random draws happen in a fixed order for every frame (loss,
+        corruption, reorder) so a given seed always produces the same fault
+        sequence regardless of which probabilities are zero.
+        """
+        plan = self.faults
+        if counted:
+            scripted = plan.take_scripted(direction, self._sent[direction])
+            if scripted is not None:
+                if scripted == "corrupt":
+                    stats.corrupted += 1
+                else:
+                    stats.drops += 1
+                return None
+        profile = plan.profile_for(direction)
+        if not profile.active:
+            return delivery_time
+        rng = plan.rng
+        if rng.random() < profile.loss:
+            stats.drops += 1
+            return None
+        if rng.random() < profile.corruption:
+            stats.corrupted += 1
+            return None
+        if rng.random() < profile.reorder:
+            # Push the frame past roughly one successor's delivery window.
+            stats.reordered += 1
+            delivery_time += 2.0 * self.latency * (1.0 + rng.random())
         return delivery_time
 
     def set_up(self, up: bool) -> None:
         """Bring the link up or down (downed links silently drop traffic)."""
         self.up = up
+        if not up and self.protection is not None:
+            self.protection.on_link_down()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} latency={self.latency} bw={self.bandwidth}>"

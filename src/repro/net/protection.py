@@ -1,0 +1,398 @@
+"""LinkGuardian-style link-local loss recovery between adjacent nodes.
+
+Corruption loss — frames that die to a failing cable or transceiver rather
+than to congestion — is invisible to the transport until an end-to-end
+timeout fires, so even a 10⁻³ loss rate inflates flow-completion times far
+out of proportion.  LinkGuardian (SIGCOMM'23) masks that loss *at the link*:
+the two switches adjacent to a lossy link run a small protocol that detects
+a lost frame by sequence gap and re-sends it from a local hold buffer at
+sub-RTT timescales, so the transport above never sees the loss.
+
+:class:`LinkProtection` implements that protocol for one
+:class:`~repro.net.links.Link` (both directions independently):
+
+* the **sender half** stamps every data frame with a per-direction sequence
+  number, keeps a copy in a bounded hold buffer (new frames queue in a
+  backlog while the buffer is full — the protocol pauses the sender rather
+  than forgetting what it may need to re-send), and re-sends on NACK or on a
+  sub-RTT retransmission timer;
+* the **receiver half** detects loss by sequence gap, NACKs exactly the
+  missing sequence numbers (rate-limited per sequence), acknowledges
+  cumulatively-plus-selectively so the sender's holds drain, and discards
+  duplicates;
+* with ``strict_order=True`` the receiver holds out-of-order arrivals in a
+  resequencing buffer and delivers strictly in sequence — loss *and*
+  reordering are masked, at the cost of gap-fill latency; with
+  ``strict_order=False`` frames are delivered the moment they arrive —
+  minimal added latency, but a repaired loss is delivered late (out of
+  order), which is exactly the stressor order-preserving transfers need.
+
+Control frames (ACK/NACK) travel over the same physical wire in the reverse
+direction and are themselves subject to the link's fault plan; the
+retransmission timer covers every control-loss case.  All protocol state is
+driven by the link's runtime, so the same code runs on the deterministic
+simulator and the wall-clock realtime runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from .links import Link
+    from .topology import Node
+
+#: Annotation key carrying the per-direction protection sequence number.
+SEQ_KEY = "lg.seq"
+
+#: Annotation key marking (and carrying) a protection control frame.
+CTRL_KEY = "lg.ctrl"
+
+#: Retransmit timeout as a multiple of the one-way link latency.  A link RTT
+#: is two latencies; eight keeps recovery sub-RTT relative to any end-to-end
+#: path of a few hops while riding out serialisation jitter.
+DEFAULT_RTO_LATENCY_MULTIPLE = 8.0
+
+
+@dataclass
+class ProtectionConfig:
+    """Tuning knobs for one protected link (both directions share them)."""
+
+    #: Deliver strictly in sequence order (resequencing buffer) when True;
+    #: deliver immediately on arrival (repaired losses arrive late) when False.
+    strict_order: bool = True
+    #: Maximum frames the sender half keeps for retransmission; new frames
+    #: queue in a backlog while the buffer is full.
+    hold_buffer: int = 128
+    #: Seconds before an unacknowledged hold is re-sent; None derives
+    #: ``DEFAULT_RTO_LATENCY_MULTIPLE`` × the link's one-way latency.
+    retransmit_timeout: Optional[float] = None
+    #: Retransmissions per frame before the sender gives up (keeps a link
+    #: that eats every frame from retrying forever); the abandonment is
+    #: counted, never silent.
+    max_retries: int = 30
+
+
+@dataclass
+class ProtectionStats:
+    """Protocol counters for one direction of a protected link."""
+
+    #: Data frames delivered up to the node (after resequencing/dedup).
+    delivered: int = 0
+    #: Duplicate arrivals discarded by the receiver half.
+    dup_discards: int = 0
+    #: Missing sequence numbers NACKed (one count per NACKed seq).
+    nacked: int = 0
+    #: Frames delivered out of sequence order (strict_order=False only).
+    out_of_order: int = 0
+    #: Frames that arrived out of order but were resequenced before delivery.
+    resequenced: int = 0
+    #: Holds abandoned after ``max_retries`` (unmaskable persistent loss).
+    abandoned: int = 0
+
+
+class _Direction:
+    """Sender + receiver protocol state for one direction of the link."""
+
+    __slots__ = (
+        "next_seq",
+        "holds",
+        "backlog",
+        "timer_armed",
+        "expected",
+        "pending",
+        "seen",
+        "nacked_at",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        # Sender half: next sequence to stamp, seq -> [frame copy, last
+        # transmission time, retries], and the pause queue for a full buffer.
+        self.next_seq = 1
+        self.holds: Dict[int, list] = {}
+        self.backlog: Deque[Tuple[Packet, "Node"]] = deque()
+        self.timer_armed = False
+        # Receiver half: next sequence expected, the strict-order
+        # resequencing buffer, the out-of-order-delivered set (loose order),
+        # and the NACK rate limiter (seq -> last time it was NACKed).
+        self.expected = 1
+        self.pending: Dict[int, Tuple[Packet, int]] = {}
+        self.seen: set = set()
+        self.nacked_at: Dict[int, float] = {}
+        self.stats = ProtectionStats()
+
+
+class LinkProtection:
+    """The LinkGuardian protocol instance attached to one link."""
+
+    def __init__(self, link: "Link", config: ProtectionConfig) -> None:
+        self.link = link
+        self.config = config
+        self.sim = link.sim
+        self.retransmit_timeout = (
+            config.retransmit_timeout
+            if config.retransmit_timeout is not None
+            else max(DEFAULT_RTO_LATENCY_MULTIPLE * link.latency, 1e-6)
+        )
+        from .links import A_TO_B, B_TO_A
+
+        self._dirs: Dict[str, _Direction] = {A_TO_B: _Direction(), B_TO_A: _Direction()}
+
+    # -- introspection ----------------------------------------------------------
+
+    def is_ctrl(self, packet: Packet) -> bool:
+        """True for the protocol's own ACK/NACK frames."""
+        return CTRL_KEY in packet.annotations
+
+    def stats_for(self, direction: str) -> ProtectionStats:
+        """Protocol counters of one direction (by links.A_TO_B / B_TO_A label)."""
+        return self._dirs[direction].stats
+
+    @property
+    def total_retransmits(self) -> int:
+        """Frames re-sent across both directions (from the link's counters)."""
+        return self.link.stats_a_to_b.retransmits + self.link.stats_b_to_a.retransmits
+
+    def outstanding(self, direction: str) -> int:
+        """Held-plus-backlogged frames the sender half still tracks."""
+        state = self._dirs[direction]
+        return len(state.holds) + len(state.backlog)
+
+    # -- sender half ------------------------------------------------------------
+
+    def send(self, packet: Packet, sender: "Node") -> Optional[float]:
+        """Sequence-stamp *packet* and transmit it with retransmission cover.
+
+        Returns the first physical attempt's delivery time (None when the
+        attempt was lost on the wire or the frame is waiting in the backlog —
+        either way the protocol re-delivers it, so the return value is only
+        the optimistic projection an unprotected link would have given).
+        """
+        direction = self.link.direction_from(sender)
+        state = self._dirs[direction]
+        packet.annotations[SEQ_KEY] = state.next_seq
+        state.next_seq += 1
+        if len(state.holds) >= self.config.hold_buffer:
+            state.backlog.append((packet, sender))
+            return None
+        return self._launch(state, direction, packet, sender)
+
+    def _launch(self, state: _Direction, direction: str, packet: Packet, sender: "Node") -> Optional[float]:
+        """Hold a copy of *packet* and make its first transmission attempt."""
+        state.holds[packet.annotations[SEQ_KEY]] = [packet.copy(), self.sim.now, 0]
+        self._arm_timer(direction, sender)
+        return self.link.transmit_raw(packet, sender)
+
+    def _drain_backlog(self, state: _Direction, direction: str) -> None:
+        """Move paused frames into freed hold slots (in sequence order)."""
+        while state.backlog and len(state.holds) < self.config.hold_buffer:
+            packet, sender = state.backlog.popleft()
+            self._launch(state, direction, packet, sender)
+
+    def _arm_timer(self, direction: str, sender: "Node") -> None:
+        """Schedule the direction's retransmit check (one timer at a time)."""
+        state = self._dirs[direction]
+        if state.timer_armed:
+            return
+        state.timer_armed = True
+        self.sim.schedule(self.retransmit_timeout, self._timer_check, direction, sender)
+
+    def _timer_check(self, direction: str, sender: "Node") -> None:
+        """Re-send the oldest unacknowledged hold once it ages past the RTO.
+
+        Only the head is re-sent (acks free holds selectively, so the head is
+        the one genuine gap); a frame that exhausts ``max_retries`` is
+        abandoned and counted so persistent loss cannot retry forever.
+        """
+        state = self._dirs[direction]
+        state.timer_armed = False
+        if not self.link.up:
+            self.on_link_down()
+            return
+        if not state.holds and not state.backlog:
+            return
+        if state.holds:
+            head = min(state.holds)
+            entry = state.holds[head]
+            if entry[1] <= self.sim.now - self.retransmit_timeout + 1e-12:
+                if entry[2] >= self.config.max_retries:
+                    del state.holds[head]
+                    state.stats.abandoned += 1
+                    self._drain_backlog(state, direction)
+                else:
+                    self._retransmit(state, direction, head, sender)
+        self._arm_timer(direction, sender)
+
+    def _retransmit(self, state: _Direction, direction: str, seq: int, sender: "Node") -> None:
+        """One retransmission attempt of a held frame."""
+        entry = state.holds.get(seq)
+        if entry is None:
+            return
+        entry[1] = self.sim.now
+        entry[2] += 1
+        self.link.stats_for(direction).retransmits += 1
+        self.link.transmit_raw(entry[0].copy(), sender)
+
+    # -- receiver half ----------------------------------------------------------
+
+    def on_arrival(self, packet: Packet, receiver: "Node", in_port: int) -> None:
+        """Physical arrival at *receiver*: ack/nack absorption or data delivery."""
+        ctrl = packet.annotations.get(CTRL_KEY)
+        if ctrl is not None:
+            # The control frame acknowledges the data direction *receiver*
+            # transmits on (it travelled the reverse wire to get here).
+            self._absorb_ctrl(self.link.direction_from(receiver), ctrl, receiver)
+            return
+        direction = self.link.direction_from(self.link.other_end(receiver))
+        state = self._dirs[direction]
+        seq = packet.annotations.get(SEQ_KEY)
+        if seq is None:
+            receiver.receive(packet, in_port)  # pre-protection frame
+            return
+        if seq < state.expected or seq in state.pending or seq in state.seen:
+            state.stats.dup_discards += 1
+            self._send_ctrl(state, receiver)
+            return
+        if self.config.strict_order:
+            state.pending[seq] = (packet, in_port)
+            if seq != state.expected:
+                state.stats.resequenced += 1
+            while state.expected in state.pending:
+                held, held_port = state.pending.pop(state.expected)
+                state.nacked_at.pop(state.expected, None)
+                state.expected += 1
+                self._deliver(state, held, receiver, held_port)
+        else:
+            if seq == state.expected:
+                state.expected += 1
+                while state.expected in state.seen:
+                    state.seen.discard(state.expected)
+                    state.nacked_at.pop(state.expected, None)
+                    state.expected += 1
+            else:
+                state.seen.add(seq)
+                state.stats.out_of_order += 1
+            self._deliver(state, packet, receiver, in_port)
+        self._send_ctrl(state, receiver)
+
+    def _deliver(self, state: _Direction, packet: Packet, receiver: "Node", in_port: int) -> None:
+        """Hand one frame up to the node, stripped of protocol annotations."""
+        packet.annotations.pop(SEQ_KEY, None)
+        state.stats.delivered += 1
+        receiver.receive(packet, in_port)
+
+    def _send_ctrl(self, state: _Direction, receiver: "Node") -> None:
+        """Emit one ACK/NACK control frame back toward the data sender.
+
+        ``cum`` acknowledges everything below ``expected``; ``have`` lists
+        sequences buffered or already delivered above the gap (so the sender
+        frees those holds instead of re-sending them); ``need`` NACKs the
+        missing sequences, rate-limited to one NACK per RTO per sequence.
+        """
+        above = state.pending.keys() | state.seen
+        need: List[int] = []
+        if above:
+            horizon = max(above)
+            cutoff = self.sim.now - self.retransmit_timeout
+            for missing in range(state.expected, horizon):
+                if missing in above:
+                    continue
+                if state.nacked_at.get(missing, -1.0) > cutoff:
+                    continue
+                state.nacked_at[missing] = self.sim.now
+                need.append(missing)
+            state.stats.nacked += len(need)
+        ctrl = Packet(
+            nw_src="0.0.0.0",
+            nw_dst="0.0.0.0",
+            nw_proto=0,
+            annotations={CTRL_KEY: {"cum": state.expected - 1, "have": sorted(above), "need": need}},
+        )
+        self.link.transmit_raw(ctrl, receiver)
+
+    # -- sender half, control absorption ----------------------------------------
+
+    def _absorb_ctrl(self, direction: str, ctrl: dict, sender: "Node") -> None:
+        """Free acknowledged holds and service NACKs for one data direction."""
+        state = self._dirs[direction]
+        cum = int(ctrl.get("cum", 0))
+        for seq in [seq for seq in state.holds if seq <= cum]:
+            del state.holds[seq]
+        for seq in ctrl.get("have", ()):
+            state.holds.pop(seq, None)
+        for seq in ctrl.get("need", ()):
+            if seq in state.holds:
+                self._retransmit(state, direction, seq, sender)
+        self._drain_backlog(state, direction)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_link_down(self) -> None:
+        """The link went administratively down: stop recovering, count losses.
+
+        Held and backlogged frames die with the link (recorded as drops on
+        their direction) — retransmission timers must not keep a dead wire's
+        event queue alive forever.
+        """
+        for direction, state in self._dirs.items():
+            lost = len(state.holds) + len(state.backlog)
+            if lost:
+                self.link.stats_for(direction).drops += lost
+            state.holds.clear()
+            state.backlog.clear()
+
+
+@dataclass
+class ProtectionSummary:
+    """Aggregated view of a protected link's loss/recovery accounting."""
+
+    sent: int = 0
+    lost_on_wire: int = 0
+    retransmits: int = 0
+    delivered: int = 0
+    abandoned: int = 0
+    ctrl_frames: int = 0
+    dup_discards: int = 0
+    details: Dict[str, ProtectionStats] = field(default_factory=dict)
+
+    @property
+    def effective_loss_rate(self) -> float:
+        """Loss the layer above still sees: abandoned over offered frames.
+
+        ``sent`` counts physical attempts (retransmissions included), so the
+        denominator here is the *offered* load — frames the protocol either
+        delivered or gave up on.
+        """
+        offered = self.delivered + self.abandoned
+        return self.abandoned / offered if offered else 0.0
+
+    @property
+    def wire_loss_rate(self) -> float:
+        """Raw per-attempt loss the wire inflicted (drops + corruption over
+        physical data frames sent, retransmissions included)."""
+        return self.lost_on_wire / self.sent if self.sent else 0.0
+
+
+def summarize(link: "Link") -> ProtectionSummary:
+    """Build a :class:`ProtectionSummary` from a (protected) link's counters."""
+    from .links import A_TO_B, B_TO_A
+
+    summary = ProtectionSummary()
+    for direction in (A_TO_B, B_TO_A):
+        stats = link.stats_for(direction)
+        summary.sent += stats.packets - stats.ctrl_frames
+        summary.lost_on_wire += stats.drops + stats.corrupted
+        summary.retransmits += stats.retransmits
+        summary.ctrl_frames += stats.ctrl_frames
+        if link.protection is not None:
+            protocol = link.protection.stats_for(direction)
+            summary.delivered += protocol.delivered
+            summary.abandoned += protocol.abandoned
+            summary.dup_discards += protocol.dup_discards
+            summary.details[direction] = protocol
+    return summary

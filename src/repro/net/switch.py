@@ -9,13 +9,17 @@ Split/Merge baseline suspends, and keeps counters used by the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from ..core.errors import NetworkError
 from ..core.flowspace import FlowPattern
 from .flowtable import Action, ActionType, FlowRule, FlowTable
 from .packet import Packet
 from .simulator import Simulator
 from .topology import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .protection import LinkProtection, ProtectionConfig
 
 #: Per-packet forwarding latency through the switch fabric (seconds).
 DEFAULT_FORWARD_LATENCY = 5e-6
@@ -86,6 +90,13 @@ class Switch(Node):
     def release_pattern(self, pattern: FlowPattern) -> List[Tuple[Packet, float]]:
         """Stop buffering *pattern* and re-inject held packets through the pipeline.
 
+        Released packets take the same path as a fresh arrival: they are
+        re-checked against the patterns still buffering (a packet matching an
+        overlapping suspended pattern is re-buffered, preserving Split/Merge
+        suspend semantics) and otherwise pay the ``forward_latency`` hop
+        before the table lookup — release is not a free shortcut through the
+        fabric.
+
         Returns ``(packet, buffered_duration)`` pairs so callers can account
         for the extra latency the buffering introduced.
         """
@@ -94,7 +105,9 @@ class Switch(Node):
         for entry in held:
             duration = self.sim.now - entry.buffered_at
             released.append((entry.packet, duration))
-            self._apply_pipeline(entry.packet, entry.in_port)
+            if self._buffer_if_matched(entry.packet, entry.in_port):
+                continue
+            self.sim.schedule(self.forward_latency, self._apply_pipeline, entry.packet, entry.in_port)
         return released
 
     def buffered_count(self, pattern: Optional[FlowPattern] = None) -> int:
@@ -103,15 +116,34 @@ class Switch(Node):
             return len(self._buffers.get(pattern, []))
         return sum(len(held) for held in self._buffers.values())
 
+    # -- link-local protection (LinkGuardian) -------------------------------------
+
+    def protect_port(self, port: int, config: Optional["ProtectionConfig"] = None) -> "LinkProtection":
+        """Enable LinkGuardian-style loss recovery on the link behind *port*."""
+        link = self.ports.get(port)
+        if link is None:
+            raise NetworkError(f"{self.name} has no link on port {port}")
+        return link.enable_protection(config)
+
     # -- data plane ----------------------------------------------------------------
 
-    def receive(self, packet: Packet, in_port: int) -> None:
-        self.stats.packets_in += 1
+    def _buffer_if_matched(self, packet: Packet, in_port: int) -> bool:
+        """Buffer *packet* under the first matching suspended pattern.
+
+        First match wins, in pattern-insertion order — the contract
+        Split/Merge relies on when overlapping patterns are suspended.
+        """
         for pattern, held in self._buffers.items():
             if pattern.matches(packet.flow_key()):
                 held.append(_BufferedPacket(packet, in_port, self.sim.now))
                 self.stats.packets_buffered += 1
-                return
+                return True
+        return False
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        self.stats.packets_in += 1
+        if self._buffer_if_matched(packet, in_port):
+            return
         self.sim.schedule(self.forward_latency, self._apply_pipeline, packet, in_port)
 
     def _apply_pipeline(self, packet: Packet, in_port: int) -> None:

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 import networkx as nx
 
 from ..core.errors import NetworkError
-from .links import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+from .links import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link, LinkFaultPlan
 from .packet import Packet
 from .simulator import Simulator
 
@@ -131,13 +131,20 @@ class Topology:
         *,
         latency: float = DEFAULT_LATENCY,
         bandwidth: float = DEFAULT_BANDWIDTH,
+        faults: Optional["LinkFaultPlan"] = None,
     ) -> Link:
-        """Create a link between two registered nodes, auto-assigning ports."""
+        """Create a link between two registered nodes, auto-assigning ports.
+
+        Pass ``faults`` (a :class:`~repro.net.links.LinkFaultPlan`) to give
+        the link seeded loss/corruption/reordering processes.
+        """
         node_a = self._resolve(node_a)
         node_b = self._resolve(node_b)
         port_a = node_a.next_free_port()
         port_b = node_b.next_free_port()
-        link = Link(self.sim, node_a, port_a, node_b, port_b, latency=latency, bandwidth=bandwidth)
+        link = Link(
+            self.sim, node_a, port_a, node_b, port_b, latency=latency, bandwidth=bandwidth, faults=faults
+        )
         node_a.attach_link(port_a, link)
         node_b.attach_link(port_b, link)
         self.links.append(link)
@@ -148,8 +155,16 @@ class Topology:
 
     def _resolve(self, node: Node | str) -> Node:
         if isinstance(node, Node):
-            if node.name not in self.nodes:
+            registered = self.nodes.get(node.name)
+            if registered is None:
                 raise NetworkError(f"node {node.name!r} is not registered in the topology")
+            if registered is not node:
+                # A different object wearing a registered node's name must not
+                # be attached: the two would silently alias each other in every
+                # name-keyed structure (routing graph, link serialization).
+                raise NetworkError(
+                    f"node object is not the registered {node.name!r} (duplicate-name attachment)"
+                )
             return node
         try:
             return self.nodes[node]

@@ -49,8 +49,13 @@ from ..core.transfer import TransferGuarantee, TransferMode, TransferSpec
 from ..federation import Federation, FederationConfig, GossipConfig
 from ..middleboxes.base import ProcessResult, Verdict
 from ..middleboxes.dummy import DummyMiddlebox
+from ..net.flowtable import Action, FlowRule
+from ..net.links import LinkFaultPlan
 from ..net.packet import tcp_packet
+from ..net.protection import ProtectionConfig
 from ..net.simulator import Simulator
+from ..net.switch import Switch
+from ..net.topology import Host, Topology
 
 #: Named fault profiles for the chaos matrix.  ``lossy`` is the acceptance
 #: profile from the issue: 1 % control-message drop plus up-to-2x latency
@@ -60,6 +65,16 @@ FAULT_PROFILES: Dict[str, Optional[Dict[str, float]]] = {
     "lossy": {"drop": 0.01, "jitter": 2.0},
     "jittery": {"jitter": 4.0, "reorder": 0.05},
     "chaotic": {"drop": 0.02, "duplicate": 0.02, "jitter": 2.0, "reorder": 0.02},
+}
+
+#: Named *data-plane* fault profiles: loss/corruption/reordering applied to
+#: the switch-to-switch hop live traffic crosses on its way to an instance
+#: (the path is protected LinkGuardian-style, so the transfer above must see
+#: none of it).  Rates are per frame on that hop.
+DATA_PROFILES: Dict[str, Optional[Dict[str, float]]] = {
+    "clean": None,
+    "lossy-data-plane": {"loss": 0.02, "corruption": 0.01, "reorder": 0.03},
+    "reordering-data-plane": {"corruption": 1e-3, "reorder": 0.1},
 }
 
 SRC = "chaos-src"
@@ -116,6 +131,16 @@ class ChaosSpec:
     quiescence: float = 0.02
     #: Hard simulated-time budget; blowing it is a termination violation.
     limit: float = 30.0
+    #: Data-plane fault profile from :data:`DATA_PROFILES`.  When set (and
+    #: not "clean"), live traffic reaches each instance over a real simulated
+    #: path — host → switch ==(faulted, protected)== switch → instance —
+    #: instead of being delivered synchronously, so the transfer invariants
+    #: are exercised against a data plane that drops, corrupts, and reorders.
+    #: Meant for non-kill scenarios: a crashed instance leaves an in-flight
+    #: window the sent-journal bookkeeping deliberately does not model.
+    data_profile: Optional[str] = None
+    #: strict_order knob of the data path's link-local protection.
+    data_strict_order: bool = True
 
     @property
     def reroute_enabled(self) -> bool:
@@ -182,6 +207,14 @@ class ChaosResult:
     federation_converged: bool = False
     #: Federated scenarios only: gossip rounds the survivors ran in total.
     gossip_rounds: int = 0
+    #: Data-path scenarios only: physical frames sent on the protected hops,
+    #: frames the wire lost (drops + corruption), link-local retransmissions,
+    #: wire-level reorder events, and frames the protection gave up on.
+    data_frames: int = 0
+    data_wire_losses: int = 0
+    data_retransmits: int = 0
+    data_reordered: int = 0
+    data_abandoned: int = 0
     #: Final per-middlebox state maps: instance name -> stringified flow key
     #: -> the flow's observed seq journal.  The differential equivalence
     #: harness compares these across runtimes.
@@ -233,6 +266,58 @@ class ChaosMiddlebox(DummyMiddlebox):
         return {key: list(record.get("seqs", [])) for key, record in self.support_store.items()}
 
 
+class _DataPath:
+    """One instance's ingress path over a faulted, protected link.
+
+    ``gen host → ingress switch ==(LinkFaultPlan, LinkGuardian)== egress
+    switch → middlebox``: the middle hop carries the scenario's data-plane
+    faults and runs link-local protection, the edge links are clean.  The
+    traffic driver injects through :attr:`host`, so every live packet crosses
+    a data plane that genuinely drops, corrupts, and reorders.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        name: str,
+        middlebox: ChaosMiddlebox,
+        plan: LinkFaultPlan,
+        *,
+        strict_order: bool,
+        index: int,
+    ) -> None:
+        self.host = topo.add_host(f"{name}-gen", f"10.250.{index}.1")
+        ingress = topo.add_node(Switch(sim, f"{name}-in"))
+        egress = topo.add_node(Switch(sim, f"{name}-out"))
+        topo.add_node(middlebox)
+        topo.connect(self.host, ingress)
+        self.link = topo.connect(ingress, egress, faults=plan)
+        self.protection = self.link.enable_protection(ProtectionConfig(strict_order=strict_order))
+        topo.connect(egress, middlebox)
+        ingress.install_rule(FlowRule(FlowPattern.wildcard(), [Action.output(ingress.port_to(egress))]))
+        egress.install_rule(FlowRule(FlowPattern.wildcard(), [Action.output(egress.port_to(middlebox))]))
+
+
+def _build_data_paths(
+    sim: Simulator, spec: ChaosSpec, mbs: Dict[str, ChaosMiddlebox], master: random.Random
+) -> Optional[Dict[str, _DataPath]]:
+    """Build one faulted, protected ingress path per instance (or None)."""
+    data_profile = DATA_PROFILES[spec.data_profile] if spec.data_profile else None
+    if data_profile is None:
+        return None
+    topo = Topology(sim)
+    paths: Dict[str, _DataPath] = {}
+    for index, (name, middlebox) in enumerate(mbs.items()):
+        # One fault stream per path, all seeded from the single master
+        # Random — the same reproducibility contract as the control channels.
+        plan = LinkFaultPlan.symmetric(master.randrange(2**31), **data_profile)
+        paths[name] = _DataPath(
+            sim, topo, name, middlebox, plan, strict_order=spec.data_strict_order, index=index
+        )
+    return paths
+
+
 class _TrafficDriver:
     """Deterministic per-scenario load generator with routing awareness.
 
@@ -246,10 +331,17 @@ class _TrafficDriver:
     lost by the transfer — they are excluded from the sent journal).
     """
 
-    def __init__(self, sim: Simulator, spec: ChaosSpec, mbs: Dict[str, ChaosMiddlebox]) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ChaosSpec,
+        mbs: Dict[str, ChaosMiddlebox],
+        paths: Optional[Dict[str, "_DataPath"]] = None,
+    ) -> None:
         self.sim = sim
         self.spec = spec
         self.mbs = mbs
+        self.paths = paths
         self.target = SRC
         self.sent: Dict[FlowKey, List[int]] = {}
         self.delivered = 0
@@ -295,7 +387,13 @@ class _TrafficDriver:
             canonical = key.bidirectional()
             self.sent.setdefault(canonical, []).append(seq)
             self.delivered += 1
-            self.mbs[target].receive(packet, 0)
+            if self.paths is not None:
+                # Through the real (faulted, protected) data path: delivery is
+                # later and — with protection — guaranteed, so the seq still
+                # belongs in the sent journal the invariants check against.
+                self.paths[target].host.send(packet)
+            else:
+                self.mbs[target].receive(packet, 0)
         self.sim.schedule(self.spec.interval, self._tick)
 
     @property
@@ -351,7 +449,8 @@ def run_chaos(spec: ChaosSpec, *, runtime=None) -> ChaosResult:
     if spec.standby:
         add(STANDBY)
 
-    driver = _TrafficDriver(sim, spec, mbs)
+    data_paths = _build_data_paths(sim, spec, mbs, master)
+    driver = _TrafficDriver(sim, spec, mbs, paths=data_paths)
     driver.start()
 
     result = ChaosResult(spec=spec)
@@ -458,6 +557,8 @@ def run_chaos(spec: ChaosSpec, *, runtime=None) -> ChaosResult:
         result.retransmits += channel.total_retransmits
         result.dedup_discards += channel.to_mb.dedup_discards + channel.to_controller.dedup_discards
         result.duplicates += channel.to_mb.duplicated + channel.to_controller.duplicated
+    if data_paths is not None:
+        _account_data_paths(result, data_paths)
 
     # -- invariant 4a: no leaked holds / tags / tracking ------------------------------
     killed = state["killed"]
@@ -484,6 +585,19 @@ def run_chaos(spec: ChaosSpec, *, runtime=None) -> ChaosResult:
         if killed != SRC:
             _check_source_retention(result, sent, mbs[SRC].flow_seqs())
     return result
+
+
+def _account_data_paths(result: ChaosResult, paths: Dict[str, _DataPath]) -> None:
+    """Fold the protected hops' wire/recovery counters into the result."""
+    from ..net.protection import summarize
+
+    for path in paths.values():
+        summary = summarize(path.link)
+        result.data_frames += summary.sent
+        result.data_wire_losses += summary.lost_on_wire
+        result.data_retransmits += summary.retransmits
+        result.data_abandoned += summary.abandoned
+        result.data_reordered += path.link.stats_a_to_b.reordered + path.link.stats_b_to_a.reordered
 
 
 def _capture_final_state(result: ChaosResult, mbs: Dict[str, ChaosMiddlebox]) -> None:

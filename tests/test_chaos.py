@@ -257,6 +257,84 @@ class TestAcceptanceScenarios:
         )
 
 
+class TestLossyDataPlaneProfile:
+    """The lossy data-plane chaos axis: live traffic over a faulted, protected path.
+
+    Instead of synchronous delivery, every live packet crosses a real
+    simulated path whose middle hop drops, corrupts, and reorders frames
+    (seeded :class:`~repro.net.links.LinkFaultPlan`) and runs
+    LinkGuardian-style link-local protection.  The four PR 5 invariants must
+    hold unchanged — the transfer above is entitled to a data plane that
+    looks loss-free and (with ``strict_order``) order-preserving.
+    """
+
+    @pytest.mark.parametrize("data_profile", ("lossy-data-plane", "reordering-data-plane"))
+    @pytest.mark.parametrize("mode", MODES)
+    def test_order_preserving_move_over_faulty_path(self, mode, data_profile):
+        """The acceptance scenario: an order_preserving (pre-copy) move over a
+        path that drops and reorders completes with 0 lost and 0 reordered
+        updates, and the faults genuinely fired."""
+        wire_losses = reordered = 0
+        for index in range(min(SEEDS, 4)):
+            spec = ChaosSpec(
+                seed=index * 389 + 17,
+                guarantee="order_preserving",
+                mode=mode,
+                profile="lossy",
+                data_profile=data_profile,
+                packets=150,
+                interval=1e-4,
+            )
+            result = run_chaos(spec)
+            result.assert_ok()  # covers lost updates AND reordering at the owner
+            assert result.outcome == "completed"
+            assert result.lost_updates == 0
+            assert result.data_abandoned == 0
+            wire_losses += result.data_wire_losses
+            reordered += result.data_reordered
+        assert wire_losses + reordered > 0, "the data-plane fault plan never fired"
+
+    def test_loose_order_protection_still_loss_free(self):
+        """strict_order=False trades ordering for latency: repaired losses
+        arrive late, which loss_free must tolerate (exactly-once, any order)."""
+        for index in range(min(SEEDS, 3)):
+            spec = ChaosSpec(
+                seed=index * 211 + 5,
+                guarantee="loss_free",
+                mode="snapshot",
+                profile="clean",
+                data_profile="reordering-data-plane",
+                data_strict_order=False,
+                packets=120,
+                interval=1e-4,
+            )
+            result = run_chaos(spec)
+            result.assert_ok()
+            assert result.outcome == "completed"
+            assert result.lost_updates == 0
+
+    def test_data_plane_chaos_is_seed_deterministic(self):
+        spec = ChaosSpec(
+            seed=99,
+            guarantee="order_preserving",
+            mode="precopy",
+            profile="lossy",
+            data_profile="lossy-data-plane",
+            packets=100,
+            interval=1e-4,
+        )
+        first = run_chaos(spec)
+        second = run_chaos(spec)
+        assert first.executed_events == second.executed_events
+        assert first.settled_at == second.settled_at
+        assert (first.data_frames, first.data_wire_losses, first.data_retransmits, first.data_reordered) == (
+            second.data_frames,
+            second.data_wire_losses,
+            second.data_retransmits,
+            second.data_reordered,
+        )
+
+
 class TestFailoverAppUnderChaos:
     """The rewritten failover app: pre-cloned standby + loss-free replay."""
 

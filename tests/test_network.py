@@ -92,10 +92,68 @@ class TestLink:
         a.attach_link(1, link)
         b.attach_link(1, link)
         link.set_up(False)
-        assert link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2), a) == -1.0
+        # A drop is None, never a pseudo-delivery-time sentinel.
+        assert link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2), a) is None
         sim.run()
         assert b.received == []
         assert link.stats_a_to_b.drops == 1
+
+    def test_down_link_drop_accounting_both_directions(self):
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 1, b, 1)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        link.set_up(False)
+        for _ in range(3):
+            assert link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2), a) is None
+        assert link.transmit(tcp_packet("10.0.0.2", "10.0.0.1", 2, 1), b) is None
+        sim.run()
+        assert link.stats_a_to_b.drops == 3
+        assert link.stats_b_to_a.drops == 1
+        assert link.stats_a_to_b.lost == 3
+        # Dropped frames never count as transmitted wire traffic.
+        assert link.stats_a_to_b.packets == 0
+        assert link.stats_b_to_a.packets == 0
+
+    def test_same_name_endpoints_do_not_share_serialisation(self):
+        # Regression: the serialisation queue used to be keyed by node *name*,
+        # so two endpoints that happened to share a name serialised against
+        # each other.  Direct Link construction bypasses the topology's
+        # duplicate-name rejection, which is exactly the aliasing scenario.
+        sim = Simulator()
+        a, b = _Sink(sim, "twin"), _Sink(sim, "twin")
+        link = Link(sim, a, 1, b, 1, latency=0.0, bandwidth=1000.0)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        payload = b"x" * 446  # 500 B on the wire -> 0.5 s serialisation
+        forward = link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, payload), a)
+        reverse = link.transmit(tcp_packet("10.0.0.2", "10.0.0.1", 2, 1, payload), b)
+        # Opposite directions are independent wires: both finish at 0.5 s.
+        assert forward == pytest.approx(0.5)
+        assert reverse == pytest.approx(0.5)
+
+    def test_unfaulted_link_schedule_matches_seed_golden(self):
+        # With no fault plan and no protection the link must schedule
+        # bit-for-bit like the seed implementation: same delivery times, one
+        # executed event per delivered packet, no extra timer events.
+        sim = Simulator()
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        link = Link(sim, a, 1, b, 1, latency=1e-3, bandwidth=1e6)
+        a.attach_link(1, link)
+        b.attach_link(1, link)
+        payload = b"x" * 946  # 1000 bytes on the wire
+        deliveries = [
+            link.transmit(tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, payload), a) for _ in range(3)
+        ]
+        assert deliveries == [
+            pytest.approx(1e-3 + 1e-3),
+            pytest.approx(1e-3 + 2e-3),
+            pytest.approx(1e-3 + 3e-3),
+        ]
+        sim.run()
+        assert sim.executed_events == 3
+        assert [at for _, _, at in b.received] == [pytest.approx(t) for t in deliveries]
 
     def test_other_end_and_port_on(self):
         sim = Simulator()
@@ -131,6 +189,21 @@ class TestTopology:
         topo = Topology(Simulator())
         with pytest.raises(NetworkError):
             topo.get("ghost")
+
+    def test_duplicate_name_attachment_rejected(self):
+        # Regression: an unregistered node object wearing a registered node's
+        # name used to slip through _resolve and alias it in every name-keyed
+        # structure.  It must be rejected at connect time.
+        sim = Simulator()
+        topo = Topology(sim)
+        h1 = topo.add_host("h1", "10.0.0.1")
+        topo.add_host("h2", "10.0.0.2")
+        from repro.net.topology import Host
+
+        impostor = Host(sim, "h2", "10.9.9.9")  # same name, different object
+        with pytest.raises(NetworkError, match="duplicate-name"):
+            topo.connect(h1, impostor)
+        assert topo.links == []
 
     def test_path_through_waypoints(self):
         sim = Simulator()
@@ -229,6 +302,61 @@ class TestSwitch:
         assert len(released) == 3
         assert all(duration >= 0 for _, duration in released)
         assert len(h2.received) == 3
+
+    def test_release_pays_forward_latency(self):
+        # Regression: released packets used to be fed straight into the
+        # pipeline, skipping the forward_latency hop every fresh arrival pays.
+        sim, topo, h1, h2, sw = self._wire()
+        pattern = FlowPattern(nw_dst="192.0.2.0/24")
+        sw.install_rule(FlowRule(pattern, [Action.output(sw.port_to(h2))]))
+        sw.buffer_pattern(pattern)
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run(until=0.1)
+        release_time = sim.now
+        sw.release_pattern(pattern)
+        sim.run()
+        assert len(h2.received) == 1
+        # Delivery happens strictly after release + the fabric hop (plus the
+        # egress link's latency), never at the release instant itself.
+        assert h2.received[0].created_at < release_time
+        assert sim.now >= release_time + sw.forward_latency
+
+    def test_release_rebuffers_into_overlapping_pattern(self):
+        # Regression: a packet released while an overlapping pattern was
+        # still buffering escaped re-buffering, breaking Split/Merge suspend
+        # semantics.  Release must re-run the active-buffer check.
+        sim, topo, h1, h2, sw = self._wire()
+        narrow = FlowPattern(nw_dst="192.0.2.1/32")
+        wide = FlowPattern(nw_dst="192.0.2.0/24")
+        sw.install_rule(FlowRule(wide, [Action.output(sw.port_to(h2))]))
+        sw.buffer_pattern(narrow)
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run(until=0.1)
+        assert sw.buffered_count(narrow) == 1
+        sw.buffer_pattern(wide)  # overlapping suspend starts while held
+        sw.release_pattern(narrow)
+        sim.run(until=0.2)
+        # The released packet must land in the still-suspended wide buffer,
+        # not escape to h2.
+        assert h2.received == []
+        assert sw.buffered_count(wide) == 1
+        sw.release_pattern(wide)
+        sim.run()
+        assert len(h2.received) == 1
+
+    def test_multi_pattern_buffer_first_match_order(self):
+        # Overlapping suspended patterns: the first-inserted matching pattern
+        # captures the packet (dict insertion order), and counters follow.
+        sim, topo, h1, h2, sw = self._wire()
+        first = FlowPattern(nw_dst="192.0.2.0/24")
+        second = FlowPattern(nw_dst="192.0.2.1/32")
+        sw.buffer_pattern(first)
+        sw.buffer_pattern(second)
+        h1.send(tcp_packet("10.0.0.1", "192.0.2.1", 1, 80))
+        sim.run(until=0.1)
+        assert sw.buffered_count(first) == 1
+        assert sw.buffered_count(second) == 0
+        assert sw.stats.packets_buffered == 1
 
 
 class TestSDNController:
